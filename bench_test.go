@@ -1,0 +1,323 @@
+package nlexplain
+
+// One benchmark per paper table and figure (see DESIGN.md §4), plus
+// ablation benches for the design choices DESIGN.md §7 calls out.
+// Custom metrics (correctness, bound, minutes, …) are attached to the
+// benchmark output via b.ReportMetric, so `go test -bench .` regenerates
+// the paper's numbers alongside Go's timing columns.
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	"nlexplain/internal/dcs"
+	"nlexplain/internal/experiments"
+	"nlexplain/internal/provenance"
+	"nlexplain/internal/semparse"
+	"nlexplain/internal/study"
+	"nlexplain/internal/utterance"
+	"nlexplain/internal/wikitables"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+)
+
+func sharedBenchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnv = experiments.NewEnv(experiments.DefaultConfig())
+	})
+	return benchEnv
+}
+
+// BenchmarkTable4UserSuccess regenerates Table 4 (user judgement
+// success over explained candidates).
+func BenchmarkTable4UserSuccess(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	var r experiments.Table4Result
+	for i := 0; i < b.N; i++ {
+		r = env.RunTable4()
+	}
+	b.ReportMetric(100*r.Success, "success_%")
+	b.ReportMetric(float64(r.Explanations), "explanations")
+}
+
+// BenchmarkTable5WorkTime regenerates Table 5 (work time with vs
+// without highlights).
+func BenchmarkTable5WorkTime(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	var r experiments.Table5Result
+	for i := 0; i < b.N; i++ {
+		r = env.RunTable5()
+	}
+	b.ReportMetric(r.WithHighlights.Avg, "with_hl_min")
+	b.ReportMetric(r.UtterancesOnly.Avg, "utter_only_min")
+	b.ReportMetric(100*(1-r.WithHighlights.Avg/r.UtterancesOnly.Avg), "reduction_%")
+}
+
+// BenchmarkTable6Correctness regenerates Table 6 (parser / user /
+// hybrid / bound correctness).
+func BenchmarkTable6Correctness(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	var r experiments.Table6Result
+	for i := 0; i < b.N; i++ {
+		r = env.RunTable6()
+	}
+	b.ReportMetric(100*r.Rates.Parser, "parser_%")
+	b.ReportMetric(100*r.Rates.User, "user_%")
+	b.ReportMetric(100*r.Rates.Hybrid, "hybrid_%")
+	b.ReportMetric(100*r.Rates.Bound, "bound_%")
+}
+
+// BenchmarkTable7CandidateGen times candidate generation per question
+// (Table 7, column 1).
+func BenchmarkTable7CandidateGen(b *testing.B) {
+	env := sharedBenchEnv(b)
+	questions := env.Dataset.Test
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex := questions[i%len(questions)]
+		q := semparse.Analyze(ex.Question, ex.Table)
+		_ = semparse.GenerateCandidates(q, ex.Table)
+	}
+}
+
+// BenchmarkTable7UtteranceGen times utterance generation per candidate
+// (Table 7, column 2).
+func BenchmarkTable7UtteranceGen(b *testing.B) {
+	env := sharedBenchEnv(b)
+	ex := env.Dataset.Test[0]
+	cands := env.Parser.Parse(ex.Question, ex.Table)
+	if len(cands) == 0 {
+		b.Skip("no candidates")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = utterance.Utter(cands[i%len(cands)].Query)
+	}
+}
+
+// BenchmarkTable7HighlightsGen times highlight generation per candidate
+// (Table 7, column 3).
+func BenchmarkTable7HighlightsGen(b *testing.B) {
+	env := sharedBenchEnv(b)
+	ex := env.Dataset.Test[0]
+	cands := env.Parser.Parse(ex.Question, ex.Table)
+	if len(cands) == 0 {
+		b.Skip("no candidates")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := provenance.Highlight(cands[i%len(cands)].Query, ex.Table); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable9Feedback regenerates Table 9 (training on annotation
+// feedback vs answer supervision). This is the heaviest bench.
+func BenchmarkTable9Feedback(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	var r experiments.Table9Result
+	for i := 0; i < b.N; i++ {
+		r = env.RunTable9()
+	}
+	if len(r.Rows) == 4 {
+		b.ReportMetric(100*r.Rows[0].Correctness, "with_ann_%")
+		b.ReportMetric(100*r.Rows[1].Correctness, "without_ann_%")
+		b.ReportMetric(r.Rows[0].MRR, "with_ann_mrr")
+		b.ReportMetric(r.Rows[1].MRR, "without_ann_mrr")
+	}
+}
+
+// BenchmarkTable10Translation regenerates Table 10 (operator-by-operator
+// SQL translation + equivalence check).
+func BenchmarkTable10Translation(b *testing.B) {
+	var rows []experiments.Table10Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.RunTable10()
+	}
+	ok := 0
+	for _, r := range rows {
+		if r.Equivalent {
+			ok++
+		}
+	}
+	b.ReportMetric(float64(ok), "equivalent_ops")
+}
+
+// BenchmarkFigureGallery renders every figure of the paper (1, 3-9,
+// 11-22): utterance + highlights + sampling.
+func BenchmarkFigureGallery(b *testing.B) {
+	nums := experiments.FigureNumbers()
+	for i := 0; i < b.N; i++ {
+		for _, n := range nums {
+			if _, err := experiments.RenderFigure(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationTopK sweeps k (the number of explained candidates)
+// and reports the correctness bound at each k — the paper's k=7 vs k=14
+// argument (Section 7.2).
+func BenchmarkAblationTopK(b *testing.B) {
+	env := sharedBenchEnv(b)
+	questions := env.Dataset.Test
+	if len(questions) > 120 {
+		questions = questions[:120]
+	}
+	for _, k := range []int{1, 3, 7, 14} {
+		k := k
+		b.Run(benchName("k", k), func(b *testing.B) {
+			var bound float64
+			for i := 0; i < b.N; i++ {
+				m := env.Parser.Evaluate(questions, k)
+				bound = m.Bound()
+			}
+			b.ReportMetric(100*bound, "bound_%")
+		})
+	}
+}
+
+// BenchmarkAblationHighlights toggles highlights in the worker model,
+// quantifying their work-time effect (this is Table 5 as an ablation).
+func BenchmarkAblationHighlights(b *testing.B) {
+	env := sharedBenchEnv(b)
+	for _, hl := range []bool{true, false} {
+		hl := hl
+		name := "with-highlights"
+		if !hl {
+			name = "utterances-only"
+		}
+		b.Run(name, func(b *testing.B) {
+			var wt study.WorkTimes
+			for i := 0; i < b.N; i++ {
+				sim := study.NewSimulation(env.Parser, 5)
+				wt = study.SummarizeWorkTimes(sim.Run(env.Dataset.Test, 10, 20, hl), 20)
+			}
+			b.ReportMetric(wt.Avg, "minutes")
+		})
+	}
+}
+
+// BenchmarkAblationFeatures zeroes one feature family at a time in the
+// trained model and reports the dev-correctness drop — quantifying what
+// each family of φ(x,T,z) contributes.
+func BenchmarkAblationFeatures(b *testing.B) {
+	env := sharedBenchEnv(b)
+	dev := env.Dataset.Test
+	if len(dev) > 120 {
+		dev = dev[:120]
+	}
+	families := map[string][]string{
+		"full":            nil,
+		"no-triggers":     {"agree:", "miss:", "spur:", "flip:"},
+		"no-grounding":    {"entityCoverage", "entitiesUngrounded", "numEntities"},
+		"no-column-match": {"colCoverage", "colsUnmentioned"},
+		"no-type-match":   {"wh="},
+	}
+	// Deterministic sub-bench order.
+	for _, name := range []string{"full", "no-triggers", "no-grounding", "no-column-match", "no-type-match"} {
+		prefixes := families[name]
+		b.Run(name, func(b *testing.B) {
+			var corr float64
+			for i := 0; i < b.N; i++ {
+				p := env.Parser.Clone()
+				for w := range p.Weights {
+					for _, pre := range prefixes {
+						if len(w) >= len(pre) && w[:len(pre)] == pre {
+							delete(p.Weights, w)
+						}
+					}
+				}
+				corr = p.Evaluate(dev, 7).Correctness()
+			}
+			b.ReportMetric(100*corr, "correct_%")
+		})
+	}
+}
+
+// BenchmarkAblationL1 sweeps the ℓ1 strength λ of Eq. 6 and reports dev
+// correctness, the cross-validation the paper alludes to.
+func BenchmarkAblationL1(b *testing.B) {
+	env := sharedBenchEnv(b)
+	train := env.Dataset.Train
+	if len(train) > 300 {
+		train = train[:300]
+	}
+	dev := env.Dataset.Test
+	if len(dev) > 100 {
+		dev = dev[:100]
+	}
+	for _, l1 := range []float64{0, 1e-4, 1e-2} {
+		l1 := l1
+		b.Run(benchNameF("lambda", l1), func(b *testing.B) {
+			var corr float64
+			for i := 0; i < b.N; i++ {
+				p := semparse.NewParser()
+				p.ShareCandidateCache(env.Parser)
+				opt := semparse.DefaultTrainOptions()
+				opt.Epochs = 2
+				opt.L1 = l1
+				p.Train(train, opt)
+				corr = p.Evaluate(dev, 7).Correctness()
+			}
+			b.ReportMetric(100*corr, "correct_%")
+		})
+	}
+}
+
+// BenchmarkAblationDatasetHardness sweeps the dataset obfuscation rate,
+// showing how linguistic variance drives the correctness bound down —
+// the mechanism behind the paper's 56% bound.
+func BenchmarkAblationDatasetHardness(b *testing.B) {
+	for _, h := range []float64{0, 0.5, 1} {
+		h := h
+		b.Run(benchNameF("hardness", h), func(b *testing.B) {
+			var bound float64
+			for i := 0; i < b.N; i++ {
+				opt := wikitables.DefaultOptions()
+				opt.Tables = 40
+				opt.QuestionsPerTable = 6
+				opt.Hardness = h
+				ds := wikitables.Generate(opt)
+				p := semparse.NewParser()
+				topt := semparse.DefaultTrainOptions()
+				topt.Epochs = 2
+				p.Train(ds.Train, topt)
+				bound = p.Evaluate(ds.Test, 7).Bound()
+			}
+			b.ReportMetric(100*bound, "bound_%")
+		})
+	}
+}
+
+// BenchmarkCoreExecute times raw lambda DCS execution of the running
+// example (micro-benchmark for the executor).
+func BenchmarkCoreExecute(b *testing.B) {
+	tab := experiments.FigureTable(1)
+	q := dcs.MustParse("max(R[Year].Country.Greece)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dcs.Execute(q, tab); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + strconv.Itoa(v)
+}
+
+func benchNameF(prefix string, v float64) string {
+	return prefix + "=" + strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBuiltinTable(t *testing.T) {
+	for _, format := range []string{"text", "ansi", "html"} {
+		if err := run("", "max(R[Year].Country.Greece)", format); err != nil {
+			t.Errorf("run(builtin, %s): %v", format, err)
+		}
+	}
+}
+
+func TestRunCSVFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.csv")
+	if err := os.WriteFile(path, []byte("A,B\n1,x\n2,y\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "count(B.x)", "text"); err != nil {
+		t.Errorf("run(csv): %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "NoColumn.x", "text"); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if err := run("", "max(", "text"); err == nil {
+		t.Error("syntax error should fail")
+	}
+	if err := run("", "Country.Greece", "pdf"); err == nil {
+		t.Error("unknown format should fail")
+	}
+	if err := run("/nonexistent.csv", "Country.Greece", "text"); err == nil {
+		t.Error("missing file should fail")
+	}
+}

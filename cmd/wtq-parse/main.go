@@ -1,0 +1,90 @@
+// Command wtq-parse is the interactive deployment interface of the
+// paper (Figure 2): it parses an NL question over a CSV table into
+// ranked candidate lambda DCS queries and explains each with an NL
+// utterance and provenance-based highlights, so a non-expert can pick
+// the correct one.
+//
+// Usage:
+//
+//	wtq-parse -table data.csv -question 'how many games were held in Athens?' [-k 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nlexplain"
+)
+
+const builtinTable = `Year,Country,City
+1896,Greece,Athens
+1900,France,Paris
+2004,Greece,Athens
+2008,China,Beijing
+2012,UK,London
+2016,Brazil,Rio de Janeiro
+`
+
+func main() {
+	tablePath := flag.String("table", "", "CSV file with a header row (default: the paper's Olympics example)")
+	question := flag.String("question", "Greece held its last Olympics in what year?", "NL question")
+	k := flag.Int("k", 7, "number of candidate queries to explain (the paper uses 7)")
+	ansi := flag.Bool("ansi", true, "use terminal colors")
+	flag.Parse()
+
+	if err := run(*tablePath, *question, *k, *ansi); err != nil {
+		fmt.Fprintln(os.Stderr, "wtq-parse:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tablePath, question string, k int, ansi bool) error {
+	var t *nlexplain.Table
+	var err error
+	if tablePath == "" {
+		t, err = nlexplain.TableFromCSV("olympics", strings.NewReader(builtinTable))
+	} else {
+		f, ferr := os.Open(tablePath)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		t, err = nlexplain.TableFromCSV(tablePath, f)
+	}
+	if err != nil {
+		return err
+	}
+
+	p := nlexplain.NewParser()
+	p.TopK = k
+	out, err := nlexplain.ExplainQuestion(p, question, t)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("question: %s\n", question)
+	fmt.Printf("showing top-%d candidate queries; pick the one matching your intent,\n", len(out))
+	fmt.Printf("or None if no candidate is a correct translation.\n")
+	for _, ce := range out {
+		res, err := nlexplain.ExecuteQuery(ce.Candidate.Query, t)
+		result := "error"
+		if err == nil {
+			result = res.String()
+		}
+		fmt.Printf("\n--- candidate %d (score %.2f) ---\n", ce.Rank, ce.Candidate.Score)
+		fmt.Printf("query:     %s\n", ce.Candidate.Query)
+		fmt.Printf("utterance: %s\n", ce.Explanation.Utterance)
+		fmt.Printf("result:    %s\n", result)
+		if ansi {
+			fmt.Print(ce.Explanation.ANSI())
+		} else {
+			fmt.Print(ce.Explanation.Text())
+		}
+	}
+	if !ansi {
+		fmt.Println("\n" + nlexplain.HighlightLegend())
+	}
+	return nil
+}

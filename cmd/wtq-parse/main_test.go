@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunBuiltin(t *testing.T) {
+	if err := run("", "Greece held its last Olympics in what year?", 3, false); err != nil {
+		t.Errorf("run: %v", err)
+	}
+}
+
+func TestRunANSI(t *testing.T) {
+	if err := run("", "how many games were held in Athens?", 2, true); err != nil {
+		t.Errorf("run: %v", err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run("/nonexistent.csv", "q", 3, false); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: load a table, run a lambda DCS query, and print both
+// explanation methods — the NL utterance and the provenance-based
+// highlights — plus the SQL translation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nlexplain"
+)
+
+func main() {
+	t, err := nlexplain.NewTable("olympics",
+		[]string{"Year", "Country", "City"},
+		[][]string{
+			{"1896", "Greece", "Athens"},
+			{"1900", "France", "Paris"},
+			{"2004", "Greece", "Athens"},
+			{"2008", "China", "Beijing"},
+			{"2012", "UK", "London"},
+			{"2016", "Brazil", "Rio de Janeiro"},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q, err := nlexplain.ParseQuery("max(R[Year].Country.Greece)")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := nlexplain.ExecuteQuery(q, t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("result: %s\n\n", res)
+
+	ex, err := nlexplain.Explain(q, t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("utterance: %s\n", ex.Utterance)
+	fmt.Printf("sql:       %s\n\n", ex.SQL)
+	fmt.Print(ex.Text())
+	fmt.Println("\n" + nlexplain.HighlightLegend())
+
+	// Derivation tree (Figure 3): formal query and utterance, composed
+	// bottom-up by the same grammar.
+	fmt.Println("\nderivation:")
+	fmt.Print(nlexplain.Derive(q))
+}

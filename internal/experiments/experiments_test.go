@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// sharedEnv is built once: Env construction trains the baseline parser.
+var sharedEnv *Env
+
+func env(t *testing.T) *Env {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment environment is slow; skipped in -short")
+	}
+	if sharedEnv == nil {
+		cfg := DefaultConfig()
+		sharedEnv = NewEnv(cfg)
+	}
+	return sharedEnv
+}
+
+func TestTable4Shape(t *testing.T) {
+	r := env(t).RunTable4()
+	if r.Questions == 0 || r.Explanations < r.Questions {
+		t.Fatalf("degenerate run: %+v", r)
+	}
+	// Paper: 78.4% judgement success. Accept a band around it.
+	if r.Success < 0.65 || r.Success > 0.92 {
+		t.Errorf("success = %.3f, want ~0.784", r.Success)
+	}
+	s := r.String()
+	if !strings.Contains(s, "78.4%") {
+		t.Errorf("rendered table missing paper value:\n%s", s)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	r := env(t).RunTable5()
+	if r.WithHighlights.Avg >= r.UtterancesOnly.Avg {
+		t.Errorf("highlights must cut work time: %.1f vs %.1f", r.WithHighlights.Avg, r.UtterancesOnly.Avg)
+	}
+	reduction := 1 - r.WithHighlights.Avg/r.UtterancesOnly.Avg
+	if reduction < 0.2 || reduction > 0.5 {
+		t.Errorf("reduction = %.2f, paper reports 34%%", reduction)
+	}
+	if r.WithHighlights.Min <= 0 || r.WithHighlights.Max < r.WithHighlights.Min {
+		t.Errorf("work-time summary malformed: %+v", r.WithHighlights)
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	r := env(t).RunTable6()
+	// The paper's ordering: parser < users < hybrid <= bound.
+	if !(r.Rates.Parser < r.Rates.Hybrid) {
+		t.Errorf("hybrid %.3f must beat parser %.3f", r.Rates.Hybrid, r.Rates.Parser)
+	}
+	if r.Rates.Hybrid > r.Rates.Bound {
+		t.Errorf("hybrid %.3f exceeds bound %.3f", r.Rates.Hybrid, r.Rates.Bound)
+	}
+	// Bound in the neighbourhood of the paper's 56%.
+	if r.Rates.Bound < 0.40 || r.Rates.Bound > 0.75 {
+		t.Errorf("bound = %.3f, want ~0.56", r.Rates.Bound)
+	}
+	// Hybrid improvement over parser should be significant, as in the
+	// paper (χ² at 0.01, 1 df).
+	if !r.SigHybrid {
+		t.Errorf("hybrid improvement not significant: χ²=%.2f", r.ChiHybrid)
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	r := env(t).RunTable7()
+	if r.UtteranceSec >= r.CandidateSec {
+		t.Errorf("utterance generation (%.5fs) should be cheaper than candidate generation (%.5fs)",
+			r.UtteranceSec, r.CandidateSec)
+	}
+	if r.UtteranceSec >= r.HighlightsSec {
+		t.Errorf("utterance generation (%.5fs) should be cheaper than highlight generation (%.5fs)",
+			r.UtteranceSec, r.HighlightsSec)
+	}
+}
+
+func TestTable8Divergences(t *testing.T) {
+	rows := env(t).RunTable8(5)
+	if len(rows) == 0 {
+		t.Fatal("no divergence examples found; user choices never differ from the baseline")
+	}
+	for _, r := range rows {
+		if r.UserChoice == r.ParserBaseline {
+			t.Errorf("row is not a divergence: %+v", r)
+		}
+		if r.Question == "" || r.UserChoice == "" || r.ParserBaseline == "" {
+			t.Errorf("malformed row: %+v", r)
+		}
+	}
+	s := FormatTable8(rows)
+	if !strings.Contains(s, "user choice:") || !strings.Contains(s, "parser baseline:") {
+		t.Errorf("formatting broken:\n%s", s)
+	}
+}
+
+func TestTable9Shape(t *testing.T) {
+	r := env(t).RunTable9()
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	withSmall, withoutSmall := r.Rows[0], r.Rows[1]
+	withFull, withoutFull := r.Rows[2], r.Rows[3]
+	if withSmall.Annotations == 0 {
+		t.Fatal("no annotations collected")
+	}
+	// The headline effect: annotations improve correctness at the small
+	// scale (paper: +8 points) and do not hurt at the full scale.
+	if withSmall.Correctness <= withoutSmall.Correctness {
+		t.Errorf("annotations did not help at small scale: %.3f vs %.3f",
+			withSmall.Correctness, withoutSmall.Correctness)
+	}
+	if withFull.Correctness+0.03 < withoutFull.Correctness {
+		t.Errorf("annotations hurt at full scale: %.3f vs %.3f",
+			withFull.Correctness, withoutFull.Correctness)
+	}
+	// MRR moves with correctness (paper: 0.499→0.586).
+	if withSmall.MRR <= withoutSmall.MRR {
+		t.Errorf("annotations did not improve MRR: %.3f vs %.3f", withSmall.MRR, withoutSmall.MRR)
+	}
+}
+
+func TestTable10AllEquivalent(t *testing.T) {
+	rows := RunTable10()
+	if len(rows) != 13 {
+		t.Fatalf("Table 10 has %d rows, want 13", len(rows))
+	}
+	for _, r := range rows {
+		if r.SQL == "" {
+			t.Errorf("%s: no SQL generated", r.Operator)
+		}
+		if !r.Equivalent {
+			t.Errorf("%s (%s): SQL translation diverges", r.Operator, r.Query)
+		}
+	}
+	s := FormatTable10(rows)
+	if strings.Count(s, "[OK") != 13 {
+		t.Errorf("formatted table:\n%s", s)
+	}
+}
+
+func TestFiguresRender(t *testing.T) {
+	for _, n := range FigureNumbers() {
+		s, err := RenderFigure(n)
+		if err != nil {
+			t.Errorf("figure %d: %v", n, err)
+			continue
+		}
+		if !strings.Contains(s, "Figure") {
+			t.Errorf("figure %d output malformed:\n%s", n, s)
+		}
+		if n != 3 && !strings.Contains(s, "utterance:") {
+			t.Errorf("figure %d missing utterance:\n%s", n, s)
+		}
+	}
+}
+
+func TestFigure7Samples(t *testing.T) {
+	s, err := RenderFigure(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "20000 rows") {
+		t.Errorf("figure 7 should mention the large table:\n%s", s)
+	}
+	// The rendering must be small despite the 20000-row table.
+	if lines := strings.Count(s, "\n"); lines > 20 {
+		t.Errorf("figure 7 rendering has %d lines; sampling failed", lines)
+	}
+}
+
+func TestFigure8BothCandidatesAnswer2004(t *testing.T) {
+	s, err := RenderFigure(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "maximum of values in column Year") ||
+		!strings.Contains(s, "minimum of values in column Year") {
+		t.Errorf("figure 8 must show both the correct and the spurious candidate:\n%s", s)
+	}
+}
+
+func TestRenderFigureUnknown(t *testing.T) {
+	if _, err := RenderFigure(2); err == nil {
+		t.Error("figure 2 (architecture diagram) should not render")
+	}
+}

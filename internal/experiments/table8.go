@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"nlexplain/internal/dcs"
+	"nlexplain/internal/study"
+	"nlexplain/internal/utterance"
+)
+
+// Table8Row is one qualitative example in the style of Table 8 of the
+// paper ("User Study - Questions and Answers"): a test question, the
+// utterance of the query the user chose, and the utterance of the
+// parser's top-ranked baseline query. The paper's rows showcase cases
+// where the two diverge — the user correcting the parser.
+type Table8Row struct {
+	Question       string
+	TableAttrs     string
+	UserChoice     string // utterance of the user-selected query
+	ParserBaseline string // utterance of the parser's top query
+	UserCorrect    bool
+}
+
+// RunTable8 collects up to n divergence examples: questions where a
+// simulated user's explained choice differs from the parser baseline.
+func (e *Env) RunTable8(n int) []Table8Row {
+	sim := study.NewSimulation(e.Parser, e.Config.Seed+8)
+	var rows []Table8Row
+	for _, ex := range e.Dataset.Test {
+		if len(rows) >= n {
+			break
+		}
+		cands := e.Parser.Parse(ex.Question, ex.Table)
+		if len(cands) == 0 {
+			continue
+		}
+		w := study.NewWorker(sim.Model, sim.Rng)
+		o := sim.RunQuestion(ex, w, true)
+		if o.SelectedQuery == "" || o.SelectedQuery == cands[0].Key() {
+			continue // no divergence to showcase
+		}
+		chosen, err := dcs.Parse(o.SelectedQuery)
+		if err != nil {
+			continue
+		}
+		rows = append(rows, Table8Row{
+			Question:       ex.Question,
+			TableAttrs:     strings.Join(ex.Table.Columns(), ", "),
+			UserChoice:     utterance.Utter(chosen),
+			ParserBaseline: utterance.Utter(cands[0].Query),
+			UserCorrect:    o.UserCorrect,
+		})
+	}
+	return rows
+}
+
+// FormatTable8 renders the divergence examples.
+func FormatTable8(rows []Table8Row) string {
+	var b strings.Builder
+	b.WriteString("Table 8: User Study - Questions and Answers (user choice vs parser baseline)\n")
+	if len(rows) == 0 {
+		b.WriteString("  (no divergence examples sampled)\n")
+		return b.String()
+	}
+	for i, r := range rows {
+		mark := "user wrong"
+		if r.UserCorrect {
+			mark = "user correct"
+		}
+		fmt.Fprintf(&b, "\n  %d. question:        %s\n", i+1, r.Question)
+		fmt.Fprintf(&b, "     table attrs:     %s\n", r.TableAttrs)
+		fmt.Fprintf(&b, "     user choice:     %s  [%s]\n", r.UserChoice, mark)
+		fmt.Fprintf(&b, "     parser baseline: %s\n", r.ParserBaseline)
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+// Package export serializes explanations to JSON for web front-ends —
+// the deployment interface of Section 6.3 is a web page showing, per
+// candidate, the utterance and the highlighted table; this package
+// defines that wire format.
+package export
+
+import (
+	"encoding/json"
+
+	"nlexplain/internal/dcs"
+	"nlexplain/internal/provenance"
+	"nlexplain/internal/sqlgen"
+	"nlexplain/internal/table"
+	"nlexplain/internal/utterance"
+)
+
+// CellJSON is one rendered cell with its provenance marking.
+type CellJSON struct {
+	Text    string `json:"text"`
+	Marking string `json:"marking,omitempty"` // colored | framed | lit
+}
+
+// TableJSON is a highlighted table: headers (with aggregate markers
+// applied) and marked cells, restricted to the sampled rows for large
+// tables.
+type TableJSON struct {
+	Name    string       `json:"name"`
+	Headers []string     `json:"headers"`
+	Rows    []int        `json:"rows"` // source record indices
+	Cells   [][]CellJSON `json:"cells"`
+	Sampled bool         `json:"sampled"`
+}
+
+// ExplanationJSON is the full explanation of one candidate query.
+type ExplanationJSON struct {
+	Query     string    `json:"query"`
+	Utterance string    `json:"utterance"`
+	SQL       string    `json:"sql,omitempty"`
+	Result    string    `json:"result"`
+	Table     TableJSON `json:"table"`
+}
+
+// maxInlineRows is the row budget before switching to Section 5.3
+// sampling.
+const maxInlineRows = 40
+
+// Explanation builds the JSON document for a query over a table.
+func Explanation(q dcs.Expr, t *table.Table) (*ExplanationJSON, error) {
+	res, err := dcs.Execute(q, t)
+	if err != nil {
+		return nil, err
+	}
+	h, err := provenance.Highlight(q, t)
+	if err != nil {
+		return nil, err
+	}
+	rows := t.Records()
+	sampled := false
+	if t.NumRows() > maxInlineRows {
+		rows = provenance.Sample(q, t, h)
+		sampled = true
+	}
+
+	doc := &ExplanationJSON{
+		Query:     q.String(),
+		Utterance: utterance.Utter(q),
+		Result:    res.String(),
+		Table: TableJSON{
+			Name:    t.Name(),
+			Rows:    rows,
+			Sampled: sampled,
+		},
+	}
+	if sql, err := sqlgen.TranslateSQL(q); err == nil {
+		doc.SQL = sql
+	}
+	for c := 0; c < t.NumCols(); c++ {
+		name := t.Column(c)
+		if fn, ok := h.HeaderAggr(c); ok {
+			name = string(fn) + "(" + name + ")"
+		}
+		doc.Table.Headers = append(doc.Table.Headers, name)
+	}
+	for _, r := range rows {
+		line := make([]CellJSON, t.NumCols())
+		for c := 0; c < t.NumCols(); c++ {
+			cell := CellJSON{Text: t.Raw(r, c)}
+			if m := h.MarkingAt(r, c); m != provenance.None {
+				cell.Marking = m.String()
+			}
+			line[c] = cell
+		}
+		doc.Table.Cells = append(doc.Table.Cells, line)
+	}
+	return doc, nil
+}
+
+// Marshal renders the explanation as indented JSON.
+func Marshal(q dcs.Expr, t *table.Table) ([]byte, error) {
+	doc, err := Explanation(q, t)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

@@ -1,0 +1,137 @@
+// Package provenance implements the multilevel cell-based provenance
+// model of Section 4 of "Explaining Queries over Web Tables to
+// Non-Experts" (ICDE 2019) and its two applications from Section 5.2:
+// provenance-based table highlights (Algorithm 1) and record sampling
+// for large tables (Section 5.3).
+//
+// For a query Q over table T the model defines three nested provenance
+// sets (Definition 4.1):
+//
+//	PO(Q,T) — the cells output by Q(T), or used to compute an aggregate
+//	          or arithmetic output, plus the aggregate functions applied;
+//	PE(Q,T) — the union of PO over every sub-query of Q: everything
+//	          examined during execution;
+//	PC(Q,T) — every cell of every column Q projects or aggregates on.
+//
+// The chain PO ⊆ PE ⊆ PC (verified by this package's property tests)
+// makes the three sets render as strictly widening highlight layers:
+// colored ⊆ framed ⊆ lit.
+package provenance
+
+import (
+	"nlexplain/internal/dcs"
+	"nlexplain/internal/table"
+)
+
+// Prov is the multilevel cell-based provenance Prov(Q,T) =
+// (PO, PE, PC) of Definition 4.2, together with the aggregate functions
+// involved in the execution and their header positions.
+type Prov struct {
+	// Output is PO(Q,T): output/witness cells.
+	Output table.CellSet
+	// Execution is PE(Q,T): cells examined during execution.
+	Execution table.CellSet
+	// Columns is PC(Q,T): all cells of projected/aggregated columns.
+	Columns table.CellSet
+	// Aggrs lists the aggregate functions that are members of the
+	// provenance sets (Definition 4.1 allows cells and aggregate
+	// functions in the same set), outermost first.
+	Aggrs []dcs.AggrFn
+	// HeaderAggrs maps a column index to the aggregate function marked
+	// on its header by MarkColumnHeader (Algorithm 1, line 5) — e.g.
+	// MAX(Year) in Figure 1.
+	HeaderAggrs map[int]dcs.AggrFn
+}
+
+// Compute evaluates the provenance of q on t. The query is executed once
+// per sub-formula, mirroring the recursive decomposition of Algorithm 1.
+func Compute(q dcs.Expr, t *table.Table) (*Prov, error) {
+	if err := dcs.Check(q, t); err != nil {
+		return nil, err
+	}
+	p := &Prov{
+		Output:      make(table.CellSet),
+		Execution:   make(table.CellSet),
+		Columns:     make(table.CellSet),
+		HeaderAggrs: make(map[int]dcs.AggrFn),
+	}
+
+	// PO: the witness cells of the top-level execution (Equation 1).
+	top, err := dcs.Execute(q, t)
+	if err != nil {
+		return nil, err
+	}
+	p.Output.AddAll(top.Cells)
+
+	// PE: the union of PO over QSUB (Equation 2).
+	for _, sub := range dcs.Subqueries(q) {
+		r, err := dcs.Execute(sub, t)
+		if err != nil {
+			return nil, err
+		}
+		p.Execution.AddAll(r.Cells)
+	}
+
+	// PC: all cells of every projected or aggregated column (Equation 3).
+	for _, colName := range dcs.Columns(q) {
+		col, ok := t.ColumnIndex(colName)
+		if !ok {
+			continue // unreachable after Check
+		}
+		p.Columns.AddAll(t.ColumnCells(col))
+	}
+
+	// The chain property PO ⊆ PE ⊆ PC holds by construction for PO/PE;
+	// for PC it holds because every witness cell lives in a mentioned
+	// column. Union PE into PC defensively so the invariant is structural.
+	p.Execution.Union(p.Output)
+	p.Columns.Union(p.Execution)
+
+	// Aggregate functions and their header markers (Algorithm 1, l. 4-5).
+	p.Aggrs = dcs.Aggregates(q)
+	for _, sub := range dcs.Subqueries(q) {
+		switch x := sub.(type) {
+		case *dcs.Aggregate:
+			if col, ok := aggregateHeaderColumn(x, t); ok {
+				if _, taken := p.HeaderAggrs[col]; !taken {
+					p.HeaderAggrs[col] = x.Fn
+				}
+			}
+		case *dcs.MostFrequent:
+			if col, ok := t.ColumnIndex(x.Column); ok {
+				if _, taken := p.HeaderAggrs[col]; !taken {
+					p.HeaderAggrs[col] = dcs.Count
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// aggregateHeaderColumn picks the header to mark for an aggregate node:
+// the first column its argument projects (MAX(Year) for
+// max(R[Year].Country.Greece); COUNT(City) for count(City.Athens)).
+func aggregateHeaderColumn(a *dcs.Aggregate, t *table.Table) (int, bool) {
+	cols := dcs.Columns(a.Arg)
+	if len(cols) == 0 {
+		return 0, false
+	}
+	return t.ColumnIndex(cols[0])
+}
+
+// Chain reports whether the provenance chain PO ⊆ PE ⊆ PC of
+// Definition 4.1 holds (it always should; exported for tests and
+// assertions).
+func (p *Prov) Chain() bool {
+	return p.Output.SubsetOf(p.Execution) && p.Execution.SubsetOf(p.Columns)
+}
+
+// OutputRows, ExecutionRows and ColumnRows are the record-set projections
+// RO, RE, RC of Section 5.3, used for sampling.
+func (p *Prov) OutputRows() []int { return p.Output.Rows() }
+
+// ExecutionRows returns the sorted records touched by PE.
+func (p *Prov) ExecutionRows() []int { return p.Execution.Rows() }
+
+// ColumnRows returns the sorted records touched by PC.
+func (p *Prov) ColumnRows() []int { return p.Columns.Rows() }

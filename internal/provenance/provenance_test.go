@@ -1,0 +1,393 @@
+package provenance
+
+import (
+	"math/rand"
+	"testing"
+
+	"nlexplain/internal/dcs"
+	"nlexplain/internal/qrand"
+	"nlexplain/internal/table"
+)
+
+func olympics(t testing.TB) *table.Table {
+	t.Helper()
+	return table.MustNew("olympics",
+		[]string{"Year", "Country", "City"},
+		[][]string{
+			{"1896", "Greece", "Athens"},
+			{"1900", "France", "Paris"},
+			{"2004", "Greece", "Athens"},
+			{"2008", "China", "Beijing"},
+			{"2012", "UK", "London"},
+			{"2016", "Brazil", "Rio de Janeiro"},
+		})
+}
+
+func medals(t testing.TB) *table.Table {
+	t.Helper()
+	return table.MustNew("medals",
+		[]string{"Rank", "Nation", "Gold", "Silver", "Bronze", "Total"},
+		[][]string{
+			{"1", "New Caledonia", "120", "107", "61", "288"},
+			{"2", "Tahiti", "60", "42", "42", "144"},
+			{"3", "Papua New Guinea", "48", "25", "48", "121"},
+			{"4", "Fiji", "33", "44", "53", "130"},
+			{"5", "Samoa", "22", "17", "34", "73"},
+			{"6", "Nauru", "8", "10", "10", "28"},
+			{"7", "Tonga", "4", "6", "10", "20"},
+		})
+}
+
+func compute(t testing.TB, tab *table.Table, src string) *Prov {
+	t.Helper()
+	p, err := Compute(dcs.MustParse(src), tab)
+	if err != nil {
+		t.Fatalf("Compute(%q): %v", src, err)
+	}
+	return p
+}
+
+func cells(refs ...[2]int) table.CellSet {
+	s := make(table.CellSet)
+	for _, r := range refs {
+		s.Add(table.CellRef{Row: r[0], Col: r[1]})
+	}
+	return s
+}
+
+func wantSet(t testing.TB, name string, got, want table.CellSet) {
+	t.Helper()
+	if !got.SubsetOf(want) || !want.SubsetOf(got) {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+// TestExample43 reproduces the provenance computation worked through in
+// Example 4.3: Q = R[Year].City.Athens on the Olympics table.
+func TestExample43(t *testing.T) {
+	tab := olympics(t)
+	p := compute(t, tab, "R[Year].City.Athens")
+
+	// PO: the Year cells of the Athens records (rows 0 and 2).
+	wantSet(t, "PO", p.Output, cells([2]int{0, 0}, [2]int{2, 0}))
+
+	// PE: PO plus PO(City.Athens) = the matching City cells.
+	wantSet(t, "PE", p.Execution,
+		cells([2]int{0, 0}, [2]int{2, 0}, [2]int{0, 2}, [2]int{2, 2}))
+
+	// PC: every cell of columns Year and City.
+	want := make(table.CellSet)
+	for r := 0; r < tab.NumRows(); r++ {
+		want.Add(table.CellRef{Row: r, Col: 0})
+		want.Add(table.CellRef{Row: r, Col: 2})
+	}
+	wantSet(t, "PC", p.Columns, want)
+}
+
+// TestExample52 reproduces Example 5.2 / Figure 6: the difference query
+// over the medals table.
+func TestExample52(t *testing.T) {
+	tab := medals(t)
+	h, err := Highlight(dcs.MustParse("sub(R[Total].Nation.Fiji, R[Total].Nation.Tonga)"), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalCol, _ := tab.ColumnIndex("Total")
+	nationCol, _ := tab.ColumnIndex("Nation")
+
+	// The cells containing 130 and 20 (Total of Fiji row 3, Tonga row 6)
+	// are colored.
+	if m := h.MarkingAt(3, totalCol); m != Colored {
+		t.Errorf("Total@Fiji marking = %v, want colored", m)
+	}
+	if m := h.MarkingAt(6, totalCol); m != Colored {
+		t.Errorf("Total@Tonga marking = %v, want colored", m)
+	}
+	// The cells Fiji and Tonga are framed.
+	if m := h.MarkingAt(3, nationCol); m != Framed {
+		t.Errorf("Nation@Fiji marking = %v, want framed", m)
+	}
+	if m := h.MarkingAt(6, nationCol); m != Framed {
+		t.Errorf("Nation@Tonga marking = %v, want framed", m)
+	}
+	// All other cells in columns Nation and Total are lit.
+	for r := 0; r < tab.NumRows(); r++ {
+		if r == 3 || r == 6 {
+			continue
+		}
+		if m := h.MarkingAt(r, totalCol); m != Lit {
+			t.Errorf("Total@%d marking = %v, want lit", r, m)
+		}
+		if m := h.MarkingAt(r, nationCol); m != Lit {
+			t.Errorf("Nation@%d marking = %v, want lit", r, m)
+		}
+	}
+	// Cells outside Nation/Total are unrelated.
+	goldCol, _ := tab.ColumnIndex("Gold")
+	if m := h.MarkingAt(0, goldCol); m != None {
+		t.Errorf("Gold@0 marking = %v, want none", m)
+	}
+}
+
+// TestFigure1 reproduces the running example: the MAX(Year) header
+// marker and the highlighted Greece rows.
+func TestFigure1(t *testing.T) {
+	tab := olympics(t)
+	h, err := Highlight(dcs.MustParse("max(R[Year].Country.Greece)"), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yearCol, _ := tab.ColumnIndex("Year")
+	countryCol, _ := tab.ColumnIndex("Country")
+
+	if fn, ok := h.HeaderAggr(yearCol); !ok || fn != dcs.Max {
+		t.Errorf("HeaderAggr(Year) = %v,%v, want max", fn, ok)
+	}
+	// Year cells of both Greece records feed the MAX: colored.
+	if h.MarkingAt(0, yearCol) != Colored || h.MarkingAt(2, yearCol) != Colored {
+		t.Error("Year cells of Greece records should be colored")
+	}
+	// The matched Country cells are framed.
+	if h.MarkingAt(0, countryCol) != Framed || h.MarkingAt(2, countryCol) != Framed {
+		t.Error("Greece cells should be framed")
+	}
+	// France's Year cell is lit only.
+	if h.MarkingAt(1, yearCol) != Lit {
+		t.Error("non-matching Year cells should be lit")
+	}
+	// Aggrs records the max.
+	if len(h.Prov.Aggrs) != 1 || h.Prov.Aggrs[0] != dcs.Max {
+		t.Errorf("Aggrs = %v", h.Prov.Aggrs)
+	}
+}
+
+func TestCountHeaderMarker(t *testing.T) {
+	// Figure 16: count(City.Athens) marks COUNT on the City header.
+	tab := olympics(t)
+	h, err := Highlight(dcs.MustParse("count(City.Athens)"), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cityCol, _ := tab.ColumnIndex("City")
+	if fn, ok := h.HeaderAggr(cityCol); !ok || fn != dcs.Count {
+		t.Errorf("HeaderAggr(City) = %v,%v, want count", fn, ok)
+	}
+}
+
+func TestMostFrequentHeaderMarker(t *testing.T) {
+	tab := olympics(t)
+	h, err := Highlight(dcs.MustParse("argmax(Values[City], R[λx.count(City.x)])"), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cityCol, _ := tab.ColumnIndex("City")
+	if fn, ok := h.HeaderAggr(cityCol); !ok || fn != dcs.Count {
+		t.Errorf("HeaderAggr(City) = %v,%v, want count", fn, ok)
+	}
+}
+
+// TestIdenticalHighlightsDistinctQueries reproduces the Section 5.2
+// observation that different queries may share identical highlights
+// (the Figure 4 pair), motivating utterances as the complementary
+// explanation.
+func TestIdenticalHighlightsDistinctQueries(t *testing.T) {
+	players := table.MustNew("players",
+		[]string{"Name", "Position", "Games"},
+		[][]string{
+			{"Erich Burgener", "GK", "3"},
+			{"Charly In-Albon", "DF", "4"},
+			{"Andy Egli", "DF", "6"},
+			{"Marcel Koller", "DF", "2"},
+			{"Heinz Hermann", "MF", "6"},
+			{"Lucien Favre", "MF", "5"},
+		})
+	h1, err := Highlight(dcs.MustParse("R[Games].Games>4"), players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Highlight(dcs.MustParse("R[Games].(Games>=5 u Games<17)"), players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two queries share output provenance (colored cells) and column
+	// provenance (lit columns): the user sees the same colored rows and
+	// cannot tell them apart without the utterance. (The framed layer may
+	// differ — Games<17 examines every Games cell — which is exactly why
+	// the paper pairs highlights with utterances.)
+	if !h1.Prov.Output.SubsetOf(h2.Prov.Output) || !h2.Prov.Output.SubsetOf(h1.Prov.Output) {
+		t.Errorf("PO differs: %v vs %v", h1.Prov.Output, h2.Prov.Output)
+	}
+	if !h1.Prov.Columns.SubsetOf(h2.Prov.Columns) || !h2.Prov.Columns.SubsetOf(h1.Prov.Columns) {
+		t.Errorf("PC differs: %v vs %v", h1.Prov.Columns, h2.Prov.Columns)
+	}
+	for r := 0; r < players.NumRows(); r++ {
+		for c := 0; c < players.NumCols(); c++ {
+			m1, m2 := h1.MarkingAt(r, c), h2.MarkingAt(r, c)
+			if (m1 == Colored) != (m2 == Colored) {
+				t.Fatalf("colored markings differ at (%d,%d): %v vs %v", r, c, m1, m2)
+			}
+		}
+	}
+}
+
+// TestChainProperty is the central invariant of Definition 4.1:
+// PO ⊆ PE ⊆ PC on random tables and queries.
+func TestChainProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	trials := 1500
+	if testing.Short() {
+		trials = 200
+	}
+	for i := 0; i < trials; i++ {
+		tab := qrand.Table(rng)
+		q := qrand.Query(rng, tab, 1+rng.Intn(3))
+		p, err := Compute(q, tab)
+		if err != nil {
+			continue // dynamic type errors are legal
+		}
+		if !p.Chain() {
+			t.Fatalf("chain violated for %s\nPO=%v\nPE=%v\nPC=%v",
+				q, p.Output, p.Execution, p.Columns)
+		}
+	}
+}
+
+// TestMarkingsMatchChain: every colored cell is in PO, framed in PE∖PO,
+// lit in PC∖PE.
+func TestMarkingsMatchChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		tab := qrand.Table(rng)
+		q := qrand.Query(rng, tab, 1+rng.Intn(3))
+		h, err := Highlight(q, tab)
+		if err != nil {
+			continue
+		}
+		p := h.Prov
+		for r := 0; r < tab.NumRows(); r++ {
+			for c := 0; c < tab.NumCols(); c++ {
+				ref := table.CellRef{Row: r, Col: c}
+				m := h.Marking(ref)
+				var want Marking
+				switch {
+				case p.Output.Contains(ref):
+					want = Colored
+				case p.Execution.Contains(ref):
+					want = Framed
+				case p.Columns.Contains(ref):
+					want = Lit
+				}
+				if m != want {
+					t.Fatalf("marking mismatch at %v for %s: got %v want %v", ref, q, m, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSampleStrata(t *testing.T) {
+	tab := olympics(t)
+	q := dcs.MustParse("max(R[Year].Country.Greece)")
+	h, err := Highlight(q, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := Sample(q, tab, h)
+	if len(sample) == 0 || len(sample) > 3 {
+		t.Fatalf("sample = %v, want 1-3 records", sample)
+	}
+	// The first stratum representative must be an output record.
+	ro := map[int]bool{}
+	for _, r := range h.Prov.OutputRows() {
+		ro[r] = true
+	}
+	found := false
+	for _, r := range sample {
+		if ro[r] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("sample %v contains no output record (RO=%v)", sample, h.Prov.OutputRows())
+	}
+	// Records come back sorted.
+	for i := 1; i < len(sample); i++ {
+		if sample[i] <= sample[i-1] {
+			t.Errorf("sample not sorted: %v", sample)
+		}
+	}
+}
+
+func TestSampleDifferenceTwoOperands(t *testing.T) {
+	// Section 5.3: for a difference query, two records from RO are
+	// selected, one per subtracted value (Figure 6 shows Fiji and Tonga).
+	tab := medals(t)
+	q := dcs.MustParse("sub(R[Total].Nation.Fiji, R[Total].Nation.Tonga)")
+	h, err := Highlight(q, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := Sample(q, tab, h)
+	has := func(r int) bool {
+		for _, s := range sample {
+			if s == r {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(3) || !has(6) {
+		t.Errorf("sample %v must include both operand records 3 (Fiji) and 6 (Tonga)", sample)
+	}
+}
+
+func TestSampleOnLargeTable(t *testing.T) {
+	// Figure 7 scenario: a large table collapses to at most 4 sampled rows.
+	var rows [][]string
+	for i := 0; i < 5000; i++ {
+		country := "Burkina Faso"
+		if i%13 == 0 {
+			country = "Madagascar"
+		}
+		rows = append(rows, []string{country, "1980", "2.9"})
+	}
+	big := table.MustNew("growth", []string{"Country", "Year", "Growth Rate"}, rows)
+	q := dcs.MustParse(`max(R["Growth Rate"].Country.Madagascar)`)
+	h, err := Highlight(q, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := Sample(q, big, h)
+	if len(sample) == 0 || len(sample) > 4 {
+		t.Fatalf("sample = %v (len %d), want 1-4 rows from a 5000-row table", sample, len(sample))
+	}
+}
+
+func TestComputeRejectsBadQuery(t *testing.T) {
+	if _, err := Compute(dcs.MustParse("Nope.Greece"), olympics(t)); err == nil {
+		t.Fatal("expected check error")
+	}
+}
+
+func TestMarkingString(t *testing.T) {
+	for m, want := range map[Marking]string{None: "none", Lit: "lit", Framed: "framed", Colored: "colored"} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+}
+
+func TestCountByMarking(t *testing.T) {
+	tab := olympics(t)
+	h, err := Highlight(dcs.MustParse("Country.Greece"), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := h.CountByMarking()
+	if counts[Colored] != 2 {
+		t.Errorf("colored = %d, want 2", counts[Colored])
+	}
+	if counts[Lit] != 4 { // 6 Country cells minus the 2 colored
+		t.Errorf("lit = %d, want 4", counts[Lit])
+	}
+}

@@ -1,0 +1,179 @@
+// Package qrand generates random web tables and random well-typed lambda
+// DCS queries over them. It backs the property-based tests of the
+// repository: lambda DCS / SQL executor equivalence (sqlgen), the
+// provenance chain invariant PO ⊆ PE ⊆ PC (provenance), and utterance
+// totality (utterance).
+package qrand
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"nlexplain/internal/dcs"
+	"nlexplain/internal/table"
+)
+
+var (
+	nations = []string{"Greece", "France", "China", "UK", "Brazil", "Fiji", "Tonga", "Samoa", "Nauru", "Tahiti"}
+	cities  = []string{"Athens", "Paris", "Beijing", "London", "Rio", "Suva", "Apia", "Sydney", "Tokyo", "Rome"}
+	rounds  = []string{"1st Round", "2nd Round", "3rd Round", "4th Round", "Did not qualify", "Final"}
+)
+
+// Table builds a random table with text, numeric and category columns.
+// Tables always have at least two rows and four columns, so every
+// operator class has something to chew on.
+func Table(rng *rand.Rand) *table.Table {
+	rows := 2 + rng.Intn(12)
+	var data [][]string
+	for r := 0; r < rows; r++ {
+		data = append(data, []string{
+			nations[rng.Intn(len(nations))],
+			cities[rng.Intn(len(cities))],
+			strconv.Itoa(1890 + rng.Intn(40)*3),
+			strconv.Itoa(rng.Intn(30)),
+			rounds[rng.Intn(len(rounds))],
+		})
+	}
+	t, err := table.New(fmt.Sprintf("rand%d", rng.Intn(1<<30)),
+		[]string{"Nation", "City", "Year", "Games", "Result"}, data)
+	if err != nil {
+		panic(err) // unreachable: shapes are fixed
+	}
+	return t
+}
+
+// numericColumns of the generated table (usable by aggregates and
+// superlatives without dynamic type errors).
+var numericColumns = []string{"Year", "Games"}
+
+// anyColumn of the generated table.
+var anyColumns = []string{"Nation", "City", "Year", "Games", "Result"}
+
+func pick[T any](rng *rand.Rand, xs []T) T { return xs[rng.Intn(len(xs))] }
+
+// cellValue draws a value that (usually) occurs in the column, with an
+// occasional miss to exercise empty denotations.
+func cellValue(rng *rand.Rand, t *table.Table, colName string) table.Value {
+	if rng.Intn(8) == 0 {
+		return table.StringValue("Atlantis")
+	}
+	col, _ := t.ColumnIndex(colName)
+	r := rng.Intn(t.NumRows())
+	return t.Value(r, col)
+}
+
+// Records generates a random RecordsType expression of bounded depth.
+func Records(rng *rand.Rand, t *table.Table, depth int) dcs.Expr {
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return &dcs.AllRecords{}
+		case 1:
+			c := pick(rng, anyColumns)
+			return &dcs.Join{Column: c, Arg: &dcs.ValueLit{V: cellValue(rng, t, c)}}
+		default:
+			c := pick(rng, numericColumns)
+			op := pick(rng, []dcs.CmpOp{dcs.Lt, dcs.Le, dcs.Gt, dcs.Ge, dcs.Ne})
+			return &dcs.Compare{Column: c, Op: op, V: table.NumberValue(float64(rng.Intn(2000)))}
+		}
+	}
+	switch rng.Intn(7) {
+	case 0:
+		return &dcs.Intersect{L: Records(rng, t, depth-1), R: Records(rng, t, depth-1)}
+	case 1:
+		return &dcs.Union{L: Records(rng, t, depth-1), R: Records(rng, t, depth-1)}
+	case 2:
+		return &dcs.Prev{Records: Records(rng, t, depth-1)}
+	case 3:
+		return &dcs.Next{Records: Records(rng, t, depth-1)}
+	case 4:
+		return &dcs.ArgRecords{Max: rng.Intn(2) == 0, Records: Records(rng, t, depth-1), Column: pick(rng, numericColumns)}
+	case 5:
+		c := pick(rng, anyColumns)
+		arg := Values(rng, t, depth-1)
+		return &dcs.Join{Column: c, Arg: arg}
+	default:
+		return Records(rng, t, 0)
+	}
+}
+
+// Values generates a random ValuesType expression of bounded depth.
+func Values(rng *rand.Rand, t *table.Table, depth int) dcs.Expr {
+	if depth <= 0 {
+		c := pick(rng, anyColumns)
+		if rng.Intn(2) == 0 {
+			return &dcs.ValueLit{V: cellValue(rng, t, c)}
+		}
+		return &dcs.ColumnValues{Column: c, Records: Records(rng, t, 0)}
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return &dcs.ColumnValues{Column: pick(rng, anyColumns), Records: Records(rng, t, depth-1)}
+	case 1:
+		return &dcs.Union{L: Values(rng, t, depth-1), R: Values(rng, t, depth-1)}
+	case 2:
+		return &dcs.IndexSuperlative{Column: pick(rng, anyColumns), Records: Records(rng, t, depth-1), First: rng.Intn(2) == 0}
+	case 3:
+		c := pick(rng, anyColumns)
+		if rng.Intn(3) == 0 {
+			return &dcs.MostFrequent{Column: c}
+		}
+		return &dcs.MostFrequent{Vals: valueUnion(rng, t, c), Column: c}
+	default:
+		valCol := pick(rng, anyColumns)
+		return &dcs.CompareValues{
+			Max:    rng.Intn(2) == 0,
+			Vals:   valueUnion(rng, t, valCol),
+			KeyCol: pick(rng, numericColumns),
+			ValCol: valCol,
+		}
+	}
+}
+
+// valueUnion builds a union of two literals drawn from a column.
+func valueUnion(rng *rand.Rand, t *table.Table, colName string) dcs.Expr {
+	return &dcs.Union{
+		L: &dcs.ValueLit{V: cellValue(rng, t, colName)},
+		R: &dcs.ValueLit{V: cellValue(rng, t, colName)},
+	}
+}
+
+// Scalar generates a random ScalarType expression of bounded depth.
+func Scalar(rng *rand.Rand, t *table.Table, depth int) dcs.Expr {
+	switch rng.Intn(4) {
+	case 0:
+		return &dcs.Aggregate{Fn: dcs.Count, Arg: Records(rng, t, depth-1)}
+	case 1:
+		fn := pick(rng, []dcs.AggrFn{dcs.Min, dcs.Max, dcs.Sum, dcs.Avg, dcs.Count})
+		return &dcs.Aggregate{Fn: fn, Arg: &dcs.ColumnValues{
+			Column:  pick(rng, numericColumns),
+			Records: Records(rng, t, depth-1),
+		}}
+	case 2:
+		c1 := pick(rng, numericColumns)
+		c2 := pick(rng, anyColumns)
+		return &dcs.Sub{
+			L: &dcs.ColumnValues{Column: c1, Records: &dcs.Join{Column: c2, Arg: &dcs.ValueLit{V: cellValue(rng, t, c2)}}},
+			R: &dcs.ColumnValues{Column: c1, Records: &dcs.Join{Column: c2, Arg: &dcs.ValueLit{V: cellValue(rng, t, c2)}}},
+		}
+	default:
+		c := pick(rng, anyColumns)
+		return &dcs.Sub{
+			L: &dcs.Aggregate{Fn: dcs.Count, Arg: &dcs.Join{Column: c, Arg: &dcs.ValueLit{V: cellValue(rng, t, c)}}},
+			R: &dcs.Aggregate{Fn: dcs.Count, Arg: &dcs.Join{Column: c, Arg: &dcs.ValueLit{V: cellValue(rng, t, c)}}},
+		}
+	}
+}
+
+// Query generates a random query of any result type.
+func Query(rng *rand.Rand, t *table.Table, depth int) dcs.Expr {
+	switch rng.Intn(3) {
+	case 0:
+		return Records(rng, t, depth)
+	case 1:
+		return Values(rng, t, depth)
+	default:
+		return Scalar(rng, t, depth)
+	}
+}

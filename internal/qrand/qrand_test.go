@@ -1,0 +1,73 @@
+package qrand
+
+import (
+	"math/rand"
+	"testing"
+
+	"nlexplain/internal/dcs"
+)
+
+func TestTableShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		tab := Table(rng)
+		if tab.NumRows() < 2 || tab.NumCols() != 5 {
+			t.Fatalf("table %dx%d", tab.NumRows(), tab.NumCols())
+		}
+	}
+}
+
+func TestGeneratedQueriesAreWellTyped(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		tab := Table(rng)
+		for _, q := range []dcs.Expr{
+			Records(rng, tab, 2),
+			Values(rng, tab, 2),
+			Scalar(rng, tab, 2),
+			Query(rng, tab, 3),
+		} {
+			if err := dcs.Check(q, tab); err != nil {
+				t.Fatalf("generated ill-typed query %s: %v", q, err)
+			}
+		}
+	}
+}
+
+func TestGeneratedQueriesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		tab := Table(rng)
+		q := Query(rng, tab, 2)
+		printed := q.String()
+		re, err := dcs.Parse(printed)
+		if err != nil {
+			t.Fatalf("generated query %q does not re-parse: %v", printed, err)
+		}
+		if re.String() != printed {
+			t.Fatalf("round trip unstable: %q -> %q", printed, re.String())
+		}
+	}
+}
+
+func TestTypeDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	counts := map[dcs.Type]int{}
+	for i := 0; i < 600; i++ {
+		tab := Table(rng)
+		counts[Query(rng, tab, 2).Type()]++
+	}
+	for _, typ := range []dcs.Type{dcs.RecordsType, dcs.ValuesType, dcs.ScalarType} {
+		if counts[typ] < 100 {
+			t.Errorf("type %v underrepresented: %d/600", typ, counts[typ])
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a := Query(rand.New(rand.NewSource(9)), Table(rand.New(rand.NewSource(8))), 3)
+	b := Query(rand.New(rand.NewSource(9)), Table(rand.New(rand.NewSource(8))), 3)
+	if a.String() != b.String() {
+		t.Errorf("same seeds gave %q and %q", a, b)
+	}
+}

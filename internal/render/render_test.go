@@ -1,0 +1,146 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"nlexplain/internal/dcs"
+	"nlexplain/internal/provenance"
+	"nlexplain/internal/table"
+)
+
+func fixture(t testing.TB) (*table.Table, *provenance.Highlights) {
+	t.Helper()
+	tab := table.MustNew("olympics",
+		[]string{"Year", "Country", "City"},
+		[][]string{
+			{"1896", "Greece", "Athens"},
+			{"1900", "France", "Paris"},
+			{"2004", "Greece", "Athens"},
+			{"2008", "China", "Beijing"},
+			{"2012", "UK", "London"},
+			{"2016", "Brazil", "Rio de Janeiro"},
+		})
+	h, err := provenance.Highlight(dcs.MustParse("max(R[Year].Country.Greece)"), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, h
+}
+
+func TestTextMarkers(t *testing.T) {
+	tab, h := fixture(t)
+	out := Text(tab, h, nil)
+	for _, want := range []string{
+		"MAX(Year)", // header marker from Algorithm 1
+		"**1896**",  // colored: feeds the MAX
+		"**2004**",  // colored
+		"[Greece]",  // framed: matched during execution
+		"_1900_",    // lit: Year column cell in a non-matching row
+		"_France_",  // lit: Country column
+		"Paris",     // unrelated column, no marker
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Text output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "_Paris_") || strings.Contains(out, "[Paris]") {
+		t.Errorf("City column should be unmarked:\n%s", out)
+	}
+}
+
+func TestTextRowSubsetEllipsis(t *testing.T) {
+	tab, h := fixture(t)
+	out := Text(tab, h, []int{0, 2, 5})
+	if !strings.Contains(out, "...") {
+		t.Errorf("subset rendering should contain ellipsis rows:\n%s", out)
+	}
+	if strings.Contains(out, "France") {
+		t.Errorf("row 1 should be omitted:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 6 { // header + 3 rows + 2 gaps
+		t.Errorf("line count = %d, want 6:\n%s", lines, out)
+	}
+}
+
+func TestANSI(t *testing.T) {
+	tab, h := fixture(t)
+	out := ANSI(tab, h, nil)
+	if !strings.Contains(out, ansiColored) || !strings.Contains(out, ansiFramed) || !strings.Contains(out, ansiLit) {
+		t.Error("ANSI output missing escape sequences")
+	}
+	if !strings.Contains(out, "MAX(Year)") {
+		t.Error("ANSI output missing header marker")
+	}
+	// Stripped of escapes, layout must match cell content.
+	stripped := out
+	for _, esc := range []string{ansiColored, ansiFramed, ansiLit, ansiReset} {
+		stripped = strings.ReplaceAll(stripped, esc, "")
+	}
+	if !strings.Contains(stripped, "Rio de Janeiro") {
+		t.Errorf("ANSI output lost cell text:\n%s", stripped)
+	}
+}
+
+func TestHTML(t *testing.T) {
+	tab, h := fixture(t)
+	out := HTML(tab, h, nil)
+	for _, want := range []string{
+		`<td class="colored">2004</td>`,
+		`<td class="framed">Greece</td>`,
+		`<td class="lit">1900</td>`,
+		"<th>MAX(Year)</th>",
+		"<td>Paris</td>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHTMLEscaping(t *testing.T) {
+	tab := table.MustNew("t", []string{"A"}, [][]string{{"<script>"}})
+	h, err := provenance.Highlight(dcs.MustParse("A.foo"), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := HTML(tab, h, nil)
+	if strings.Contains(out, "<script>") {
+		t.Error("HTML output must escape cell content")
+	}
+}
+
+func TestHTMLGapRow(t *testing.T) {
+	tab, h := fixture(t)
+	out := HTML(tab, h, []int{0, 5})
+	if !strings.Contains(out, `class="gap"`) {
+		t.Errorf("HTML subset missing gap row:\n%s", out)
+	}
+}
+
+func TestLegendAndCSS(t *testing.T) {
+	if !strings.Contains(Legend(), "PO") || !strings.Contains(Legend(), "PE") || !strings.Contains(Legend(), "PC") {
+		t.Error("legend should name all three provenance levels")
+	}
+	for _, cls := range []string{".colored", ".framed", ".lit"} {
+		if !strings.Contains(CSS(), cls) {
+			t.Errorf("CSS missing class %s", cls)
+		}
+	}
+}
+
+func TestTextAlignment(t *testing.T) {
+	tab, h := fixture(t)
+	out := Text(tab, h, nil)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("line count = %d", len(lines))
+	}
+	w := len([]rune(lines[0]))
+	for i, l := range lines {
+		if len([]rune(l)) != w {
+			t.Errorf("line %d width %d != header width %d:\n%s", i, len([]rune(l)), w, out)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package semparse
+
+import (
+	"math"
+	"sort"
+
+	"nlexplain/internal/dcs"
+	"nlexplain/internal/table"
+)
+
+// entityLiterals collects the value literals appearing in a query,
+// including comparison constants.
+func entityLiterals(z dcs.Expr) []table.Value {
+	var out []table.Value
+	for _, sub := range dcs.Subqueries(z) {
+		switch x := sub.(type) {
+		case *dcs.ValueLit:
+			out = append(out, x.V)
+		case *dcs.Compare:
+			out = append(out, x.V)
+		}
+	}
+	return out
+}
+
+// Parser is the log-linear semantic parser of Eq. 4:
+// pθ(z|x,T) ∝ exp(φ(x,T,z)·θ).
+type Parser struct {
+	// Weights is the parameter vector θ, sparse over feature names.
+	Weights map[string]float64
+	// TopK is how many ranked candidates Parse returns (the paper
+	// displays k=7 to users; Parse itself returns up to TopK).
+	TopK int
+	// adagrad accumulator (sum of squared gradients per feature).
+	sumSq map[string]float64
+	// candCache memoizes candidate generation per (table, question):
+	// candidates and their features do not depend on θ, only scores do,
+	// so epochs of training and repeated simulation reuse them.
+	candCache map[string][]*Candidate
+}
+
+func (p *Parser) cacheKey(question string, t *table.Table) string {
+	return t.Name() + "\x00" + question
+}
+
+// ShareCandidateCache makes p reuse another parser's memoized candidate
+// pools. Candidates are θ-independent, so sharing is safe; it saves the
+// regeneration cost when many parser variants are trained on the same
+// examples (the Table 9 experiment).
+func (p *Parser) ShareCandidateCache(o *Parser) {
+	if o.candCache == nil {
+		o.candCache = make(map[string][]*Candidate)
+	}
+	p.candCache = o.candCache
+}
+
+// candidates fetches or generates the unscored candidate pool.
+func (p *Parser) candidates(question string, t *table.Table) []*Candidate {
+	key := p.cacheKey(question, t)
+	if cached, ok := p.candCache[key]; ok {
+		return cached
+	}
+	q := Analyze(question, t)
+	cands := GenerateCandidates(q, t)
+	if p.candCache == nil {
+		p.candCache = make(map[string][]*Candidate)
+	}
+	p.candCache[key] = cands
+	return cands
+}
+
+// NewParser returns a parser with heuristic initial weights: enough
+// signal to rank plausibly before any training, mirroring a pretrained
+// baseline.
+func NewParser() *Parser {
+	return &Parser{
+		Weights: map[string]float64{
+			"colCoverage":        1.0,
+			"entityCoverage":     1.5,
+			"entitiesUngrounded": -1.0,
+			"colsUnmentioned":    -0.3,
+			"emptyResult":        -2.0,
+			"recordsResult":      -1.0,
+			"size":               -0.05,
+		},
+		TopK:  7,
+		sumSq: make(map[string]float64),
+	}
+}
+
+// Clone deep-copies the parser's parameters (weights and AdaGrad
+// accumulator). The candidate cache is shared deliberately: candidates
+// do not depend on θ, and sharing lets experiment variants reuse
+// generation work. Parsers are not safe for concurrent use.
+func (p *Parser) Clone() *Parser {
+	q := &Parser{Weights: make(map[string]float64, len(p.Weights)), TopK: p.TopK, sumSq: make(map[string]float64, len(p.sumSq)), candCache: p.candCache}
+	for k, v := range p.Weights {
+		q.Weights[k] = v
+	}
+	for k, v := range p.sumSq {
+		q.sumSq[k] = v
+	}
+	return q
+}
+
+// score computes θ·φ. Terms are added in sorted feature order: float
+// addition is not associative, and map-order summation would make
+// near-tied candidates rank non-deterministically across runs.
+func (p *Parser) score(features map[string]float64) float64 {
+	keys := make([]string, 0, len(features))
+	for k := range features {
+		if p.Weights[k] != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	s := 0.0
+	for _, k := range keys {
+		s += p.Weights[k] * features[k]
+	}
+	return s
+}
+
+// Parse analyzes the question, generates candidates, ranks them by the
+// model and returns the top-K (Eq. 4 ranking).
+func (p *Parser) Parse(question string, t *table.Table) []*Candidate {
+	cands := p.ParseAll(question, t)
+	if p.TopK > 0 && len(cands) > p.TopK {
+		cands = cands[:p.TopK]
+	}
+	return cands
+}
+
+// ParseAll is Parse without the top-K truncation, for training (the
+// distributions of Eq. 5/7 range over the full candidate set Zx).
+func (p *Parser) ParseAll(question string, t *table.Table) []*Candidate {
+	pool := p.candidates(question, t)
+	cands := make([]*Candidate, len(pool))
+	copy(cands, pool)
+	for _, c := range cands {
+		c.Score = p.score(c.Features)
+	}
+	sortCandidates(cands)
+	return cands
+}
+
+// Distribution returns pθ(z|x,T) over the candidates via softmax of the
+// current scores.
+func Distribution(cands []*Candidate) []float64 {
+	if len(cands) == 0 {
+		return nil
+	}
+	maxScore := cands[0].Score
+	for _, c := range cands {
+		if c.Score > maxScore {
+			maxScore = c.Score
+		}
+	}
+	probs := make([]float64, len(cands))
+	z := 0.0
+	for i, c := range cands {
+		probs[i] = math.Exp(c.Score - maxScore)
+		z += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= z
+	}
+	return probs
+}
+
+// TopFeatures returns the n largest-magnitude weights, for inspection.
+func (p *Parser) TopFeatures(n int) []string {
+	keys := make([]string, 0, len(p.Weights))
+	for k := range p.Weights {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ai, aj := math.Abs(p.Weights[keys[i]]), math.Abs(p.Weights[keys[j]])
+		if ai != aj {
+			return ai > aj
+		}
+		return keys[i] < keys[j]
+	})
+	if len(keys) > n {
+		keys = keys[:n]
+	}
+	return keys
+}

@@ -1,0 +1,134 @@
+package semparse
+
+import (
+	"nlexplain/internal/table"
+)
+
+// This file implements the paper's future-work extension (Section 9):
+// online learning from user interaction at run time. "Instead of asking
+// the user to choose a query from the top-k results, or mark all of
+// them as incorrect, an online parser may query the user until the
+// correct query is generated. Such a system should be expected to learn
+// interactively whether to return its top-ranked query, or seek further
+// clarifications from the user."
+
+// Oracle answers the interactive system's clarification requests. In
+// deployment it is a human reading explanations; in tests and
+// simulations it is backed by gold queries or by the study package's
+// worker model.
+type Oracle interface {
+	// JudgeCandidate reports whether the shown candidate is a correct
+	// translation of the question.
+	JudgeCandidate(question string, c *Candidate) bool
+}
+
+// OracleFunc adapts a function to the Oracle interface.
+type OracleFunc func(question string, c *Candidate) bool
+
+// JudgeCandidate implements Oracle.
+func (f OracleFunc) JudgeCandidate(question string, c *Candidate) bool {
+	return f(question, c)
+}
+
+// OnlineOptions configures the interactive session.
+type OnlineOptions struct {
+	// Confidence is the posterior probability above which the system
+	// returns its top query without asking (the "learn whether to
+	// return its top-ranked query or seek further clarifications"
+	// behaviour).
+	Confidence float64
+	// MaxQueries bounds how many candidates may be shown per question.
+	MaxQueries int
+	// Train updates the model on every confirmed answer.
+	Train TrainOptions
+}
+
+// DefaultOnlineOptions asks when the model is unsure and shows at most
+// seven candidates, matching the paper's k.
+func DefaultOnlineOptions() OnlineOptions {
+	return OnlineOptions{
+		Confidence: 0.5,
+		MaxQueries: 7,
+		Train:      TrainOptions{Epochs: 1, LearningRate: 0.2, L1: 1e-4, Seed: 1},
+	}
+}
+
+// OnlineResult records one interactive question.
+type OnlineResult struct {
+	// Query is the accepted query ("" when the user rejected all shown
+	// candidates).
+	Query string
+	// Asked counts clarification requests issued (0 = answered from
+	// model confidence alone).
+	Asked int
+	// Confident is true when the system skipped clarification.
+	Confident bool
+}
+
+// OnlineParser wraps a Parser with the interactive loop.
+type OnlineParser struct {
+	Parser *Parser
+	Opt    OnlineOptions
+}
+
+// NewOnlineParser builds an interactive parser over p.
+func NewOnlineParser(p *Parser) *OnlineParser {
+	return &OnlineParser{Parser: p, Opt: DefaultOnlineOptions()}
+}
+
+// Answer runs the interactive protocol on one question: if the model's
+// posterior on its top candidate clears the confidence bar, return it;
+// otherwise show candidates to the oracle one at a time, in rank order,
+// until one is confirmed or the budget is spent. Every confirmation
+// becomes an annotated example the model immediately trains on.
+func (o *OnlineParser) Answer(question string, t *table.Table, oracle Oracle) OnlineResult {
+	cands := o.Parser.ParseAll(question, t)
+	if len(cands) == 0 {
+		return OnlineResult{}
+	}
+	probs := Distribution(cands)
+	if probs[0] >= o.Opt.Confidence {
+		return OnlineResult{Query: cands[0].Key(), Confident: true}
+	}
+	res := OnlineResult{}
+	limit := o.Opt.MaxQueries
+	if limit > len(cands) {
+		limit = len(cands)
+	}
+	for i := 0; i < limit; i++ {
+		res.Asked++
+		if !oracle.JudgeCandidate(question, cands[i]) {
+			continue
+		}
+		res.Query = cands[i].Key()
+		// Learn from the confirmation immediately (one online step on
+		// the annotated example).
+		ex := &Example{
+			Question:    question,
+			Table:       t,
+			Annotations: map[string]bool{res.Query: true},
+		}
+		o.Parser.Train([]*Example{ex}, o.Opt.Train)
+		return res
+	}
+	return res
+}
+
+// Session runs the online parser over a stream of examples with a gold
+// oracle and reports how clarification demand decays as the model
+// learns — the quantity the paper's future-work section speculates
+// about.
+func (o *OnlineParser) Session(examples []*Example) (results []OnlineResult) {
+	oracle := OracleFunc(func(q string, c *Candidate) bool {
+		for _, ex := range examples {
+			if ex.Question == q {
+				return c.Key() == ex.GoldQuery
+			}
+		}
+		return false
+	})
+	for _, ex := range examples {
+		results = append(results, o.Answer(ex.Question, ex.Table, oracle))
+	}
+	return results
+}

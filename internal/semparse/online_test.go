@@ -1,0 +1,81 @@
+package semparse
+
+import (
+	"testing"
+)
+
+func TestOnlineAnswerConfident(t *testing.T) {
+	tab := olympics(t)
+	p := NewParser()
+	// Force extreme confidence so the top query is returned unasked.
+	op := NewOnlineParser(p)
+	op.Opt.Confidence = 0.0
+	res := op.Answer("how many games were held in Athens?", tab, OracleFunc(func(string, *Candidate) bool {
+		t.Fatal("oracle must not be consulted when confident")
+		return false
+	}))
+	if !res.Confident || res.Asked != 0 || res.Query == "" {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestOnlineAnswerAsksUntilConfirmed(t *testing.T) {
+	tab := olympics(t)
+	p := NewParser()
+	op := NewOnlineParser(p)
+	op.Opt.Confidence = 1.1 // never confident: always ask
+	gold := "count(City.Athens)"
+	res := op.Answer("how many games were held in Athens?", tab, OracleFunc(func(_ string, c *Candidate) bool {
+		return c.Key() == gold
+	}))
+	if res.Query != gold {
+		t.Fatalf("accepted %q, want %q", res.Query, gold)
+	}
+	if res.Asked == 0 || res.Confident {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestOnlineAnswerBudget(t *testing.T) {
+	tab := olympics(t)
+	op := NewOnlineParser(NewParser())
+	op.Opt.Confidence = 1.1
+	op.Opt.MaxQueries = 2
+	res := op.Answer("how many games were held in Athens?", tab, OracleFunc(func(string, *Candidate) bool {
+		return false // user rejects everything
+	}))
+	if res.Query != "" || res.Asked != 2 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestOnlineLearningReducesAsking(t *testing.T) {
+	tab := olympics(t)
+	// The same question shape repeated: after the first confirmation the
+	// online step should rank the gold query first and gain confidence.
+	questions := []struct{ q, gold string }{
+		{"how many games were held in Athens?", "count(City.Athens)"},
+		{"how many games were held in Paris?", "count(City.Paris)"},
+		{"how many games were held in Beijing?", "count(City.Beijing)"},
+		{"how many games were held in London?", "count(City.London)"},
+	}
+	var examples []*Example
+	for i, qq := range questions {
+		examples = append(examples, &Example{
+			ID: i, Question: qq.q, Table: tab, GoldQuery: qq.gold,
+		})
+	}
+	op := NewOnlineParser(NewParser())
+	op.Opt.Confidence = 0.4
+	op.Opt.Train = TrainOptions{Epochs: 6, LearningRate: 0.5, L1: 1e-5, Seed: 2}
+	results := op.Session(examples)
+	if len(results) != len(questions) {
+		t.Fatalf("results = %d", len(results))
+	}
+	// The final question should need no more clarifications than the
+	// first (interactive learning pays off).
+	if results[len(results)-1].Asked > results[0].Asked {
+		t.Errorf("asking grew: first=%d last=%d (all: %+v)",
+			results[0].Asked, results[len(results)-1].Asked, results)
+	}
+}

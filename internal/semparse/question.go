@@ -1,0 +1,262 @@
+// Package semparse implements the NL-question → lambda DCS semantic
+// parser that the paper uses as its baseline interface (Sections 2 and
+// 6.2). It stands in for the Zhang et al. 2017 parser: a table-grounded
+// candidate generator enumerates well-typed lambda DCS queries for a
+// question, a log-linear model p(z|x,T) ∝ exp(φ(x,T,z)·θ) ranks them
+// (Eq. 4), and AdaGrad with L1 regularization trains θ from answer
+// supervision (Eq. 5–6) or from user-annotated question–query pairs
+// (Eq. 7–8).
+package semparse
+
+import (
+	"strings"
+	"unicode"
+
+	"nlexplain/internal/table"
+)
+
+// Trigger is a lexical cue for an operator class, detected in the
+// question ("how many" → count, "difference" → sub, …).
+type Trigger string
+
+// Operator triggers.
+const (
+	TrigCount    Trigger = "count"
+	TrigSum      Trigger = "sum"
+	TrigAvg      Trigger = "avg"
+	TrigMax      Trigger = "max"
+	TrigMin      Trigger = "min"
+	TrigLast     Trigger = "last"
+	TrigFirst    Trigger = "first"
+	TrigDiff     Trigger = "diff"
+	TrigMore     Trigger = "more"
+	TrigLess     Trigger = "less"
+	TrigBefore   Trigger = "before"
+	TrigAfter    Trigger = "after"
+	TrigMost     Trigger = "mostfreq"
+	TrigOr       Trigger = "or"
+	TrigAnd      Trigger = "and"
+	TrigCompareV Trigger = "comparevalues"
+)
+
+// Question is the analyzed form of an NL question against a table:
+// tokens, operator triggers, numbers, and anchors into the table
+// (matched cells and matched columns).
+type Question struct {
+	Raw     string
+	Tokens  []string
+	Wh      string // who / what / when / where / which / how-many / ""
+	Trigs   map[Trigger]bool
+	Numbers []float64
+
+	// EntityAnchors are cell values whose text occurs in the question,
+	// with the column they occur in.
+	EntityAnchors []EntityAnchor
+	// ColumnAnchors are columns whose header tokens occur in the question.
+	ColumnAnchors []int
+}
+
+// EntityAnchor is a question phrase grounded to table cells.
+type EntityAnchor struct {
+	Col int
+	Val table.Value
+	// Tokens is the length of the matched token span, used to prefer
+	// longer groundings.
+	Tokens int
+}
+
+// Tokenize lower-cases and splits a question into word and number tokens.
+func Tokenize(s string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			cur.WriteRune(r)
+		case r == '\'' || r == '-' || r == '.':
+			// keep inside tokens ("o'brien", "a-league", "2.5")
+			if cur.Len() > 0 {
+				cur.WriteRune(r)
+			}
+		default:
+			flush()
+		}
+	}
+	flush()
+	// strip trailing '.' from sentence-final tokens
+	for i, t := range toks {
+		toks[i] = strings.TrimRight(t, ".")
+	}
+	return toks
+}
+
+var triggerLexicon = map[Trigger][][]string{
+	TrigCount:    {{"how", "many"}, {"number", "of"}, {"total", "number"}, {"count"}},
+	TrigSum:      {{"sum"}, {"total"}, {"combined"}, {"altogether"}},
+	TrigAvg:      {{"average"}, {"mean"}, {"avg"}},
+	TrigMax:      {{"highest"}, {"most"}, {"largest"}, {"biggest"}, {"maximum"}, {"greatest"}, {"top"}, {"best"}, {"longest"}, {"oldest"}},
+	TrigMin:      {{"lowest"}, {"least"}, {"smallest"}, {"minimum"}, {"fewest"}, {"worst"}, {"shortest"}, {"youngest"}},
+	TrigLast:     {{"last"}, {"latest"}, {"final"}, {"most", "recent"}},
+	TrigFirst:    {{"first"}, {"earliest"}, {"initial"}},
+	TrigDiff:     {{"difference"}, {"how", "many", "more"}, {"how", "much", "more"}, {"differ"}},
+	TrigMore:     {{"more", "than"}, {"over"}, {"above"}, {"at", "least"}, {"or", "higher"}, {"or", "more"}, {"greater", "than"}},
+	TrigLess:     {{"less", "than"}, {"under"}, {"below"}, {"at", "most"}, {"or", "lower"}, {"fewer", "than"}},
+	TrigBefore:   {{"before"}, {"previous"}, {"right", "above"}, {"prior"}},
+	TrigAfter:    {{"after"}, {"next"}, {"right", "below"}, {"following"}},
+	TrigMost:     {{"the", "most"}, {"most", "often"}, {"most", "common"}, {"appears", "most"}, {"recorded", "the", "most"}},
+	TrigOr:       {{"or"}, {"either"}},
+	TrigAnd:      {{"and"}, {"both"}},
+	TrigCompareV: {{"who", "has", "more"}, {"which", "is", "higher"}, {"who", "is", "older"}, {"who", "has", "the"}, {"which", "has", "more"}},
+}
+
+// Analyze grounds a question against a table: tokenization, trigger
+// detection, number extraction and entity/column anchoring.
+func Analyze(q string, t *table.Table) *Question {
+	out := &Question{
+		Raw:    q,
+		Tokens: Tokenize(q),
+		Trigs:  make(map[Trigger]bool),
+	}
+	out.Wh = detectWh(out.Tokens)
+
+	// Triggers: contiguous phrase search.
+	for trig, phrases := range triggerLexicon {
+		for _, ph := range phrases {
+			if containsPhrase(out.Tokens, ph) {
+				out.Trigs[trig] = true
+				break
+			}
+		}
+	}
+
+	// Numbers.
+	for _, tok := range out.Tokens {
+		if v := table.ParseValue(tok); v.Kind == table.Number {
+			out.Numbers = append(out.Numbers, v.Num)
+		}
+	}
+
+	out.EntityAnchors = matchEntities(out.Tokens, t)
+	out.ColumnAnchors = matchColumns(out.Tokens, t)
+	return out
+}
+
+func detectWh(toks []string) string {
+	for i, t := range toks {
+		switch t {
+		case "who", "whom":
+			return "who"
+		case "when":
+			return "when"
+		case "where":
+			return "where"
+		case "which":
+			return "which"
+		case "what", "whats", "what's":
+			return "what"
+		case "how":
+			if i+1 < len(toks) && (toks[i+1] == "many" || toks[i+1] == "much") {
+				return "how-many"
+			}
+			return "how"
+		}
+	}
+	return ""
+}
+
+func containsPhrase(toks, phrase []string) bool {
+	if len(phrase) == 0 || len(phrase) > len(toks) {
+		return false
+	}
+outer:
+	for i := 0; i+len(phrase) <= len(toks); i++ {
+		for j, p := range phrase {
+			if toks[i+j] != p {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// matchEntities finds distinct cell values whose token sequence appears
+// contiguously in the question. Longer matches shadow shorter ones at
+// the same position; at most maxEntityAnchors survive.
+const maxEntityAnchors = 6
+
+func matchEntities(toks []string, t *table.Table) []EntityAnchor {
+	var anchors []EntityAnchor
+	seen := make(map[string]bool) // col|valkey dedup
+	for c := 0; c < t.NumCols(); c++ {
+		for _, v := range t.DistinctColumnValues(c) {
+			vt := Tokenize(v.String())
+			if len(vt) == 0 || len(vt) > 6 {
+				continue
+			}
+			if !containsPhrase(toks, vt) {
+				continue
+			}
+			key := string(rune('0'+c)) + "|" + v.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			anchors = append(anchors, EntityAnchor{Col: c, Val: v, Tokens: len(vt)})
+		}
+	}
+	// Prefer longer (more specific) groundings, then earlier columns.
+	for i := 1; i < len(anchors); i++ {
+		for j := i; j > 0 && better(anchors[j], anchors[j-1]); j-- {
+			anchors[j], anchors[j-1] = anchors[j-1], anchors[j]
+		}
+	}
+	if len(anchors) > maxEntityAnchors {
+		anchors = anchors[:maxEntityAnchors]
+	}
+	return anchors
+}
+
+func better(a, b EntityAnchor) bool {
+	if a.Tokens != b.Tokens {
+		return a.Tokens > b.Tokens
+	}
+	return a.Col < b.Col
+}
+
+func matchColumns(toks []string, t *table.Table) []int {
+	var cols []int
+	for c := 0; c < t.NumCols(); c++ {
+		ht := Tokenize(t.Column(c))
+		if len(ht) == 0 {
+			continue
+		}
+		// A column is mentioned when all of its header tokens occur.
+		all := true
+		for _, h := range ht {
+			if !containsToken(toks, h) {
+				all = false
+				break
+			}
+		}
+		if all {
+			cols = append(cols, c)
+		}
+	}
+	return cols
+}
+
+func containsToken(toks []string, w string) bool {
+	for _, t := range toks {
+		if t == w {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,89 @@
+package study
+
+import (
+	"nlexplain/internal/semparse"
+)
+
+// CollectAnnotations implements the feedback-collection protocol of
+// Section 7.3: each training question is shown (with explanations of
+// the parser's top-k candidates) to `votes` distinct workers; a
+// candidate query becomes an annotation when at least `agree` workers
+// marked it correct ("each question was presented to three distinct
+// users, taking only the annotations marked by at least two of them").
+// The returned examples are copies carrying Annotations = Qx.
+func (s *Simulation) CollectAnnotations(examples []*semparse.Example, votes, agree int) []*semparse.Example {
+	var out []*semparse.Example
+	for _, ex := range examples {
+		tally := make(map[string]int)
+		for v := 0; v < votes; v++ {
+			w := NewWorker(s.Model, s.Rng)
+			o := s.RunQuestion(ex, w, true)
+			if o.SelectedQuery != "" {
+				tally[o.SelectedQuery]++
+			}
+		}
+		qx := make(map[string]bool)
+		for q, n := range tally {
+			if n >= agree {
+				qx[q] = true
+			}
+		}
+		if len(qx) == 0 {
+			continue
+		}
+		annotated := *ex
+		annotated.Annotations = qx
+		out = append(out, &annotated)
+	}
+	return out
+}
+
+// FeedbackResult is one row of Table 9.
+type FeedbackResult struct {
+	TrainExamples int
+	Annotations   int
+	Correctness   float64
+	MRR           float64
+}
+
+// TrainOnFeedback reproduces the Table 9 protocol: train one parser on
+// the examples with annotations applied and one without, evaluate both
+// on the dev split, and return the paired rows. Examples in `annotated`
+// replace their unannotated counterparts in `train` (Eq. 8's split into
+// A and its complement).
+func TrainOnFeedback(base *semparse.Parser, train, annotated, dev []*semparse.Example, opt semparse.TrainOptions) (with, without FeedbackResult) {
+	byID := make(map[int]*semparse.Example, len(annotated))
+	for _, ex := range annotated {
+		byID[ex.ID] = ex
+	}
+	mixed := make([]*semparse.Example, len(train))
+	for i, ex := range train {
+		if a, ok := byID[ex.ID]; ok {
+			mixed[i] = a
+		} else {
+			mixed[i] = ex
+		}
+	}
+
+	pWith := base.Clone()
+	pWith.Train(mixed, opt)
+	mWith := pWith.Evaluate(dev, 7)
+
+	pWithout := base.Clone()
+	pWithout.Train(train, opt)
+	mWithout := pWithout.Evaluate(dev, 7)
+
+	with = FeedbackResult{
+		TrainExamples: len(train),
+		Annotations:   len(annotated),
+		Correctness:   mWith.Correctness(),
+		MRR:           mWith.MRR(),
+	}
+	without = FeedbackResult{
+		TrainExamples: len(train),
+		Annotations:   0,
+		Correctness:   mWithout.Correctness(),
+		MRR:           mWithout.MRR(),
+	}
+	return with, without
+}

@@ -1,0 +1,193 @@
+package study
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"nlexplain/internal/semparse"
+)
+
+// Simulation drives the interactive-parsing study of Section 7.2: for
+// each question the parser's top-k candidates are explained to a
+// simulated worker who picks the correct one (or None).
+type Simulation struct {
+	Parser *semparse.Parser
+	Model  WorkerModel
+	// K is the number of explained candidates shown (the paper settles
+	// on k=7 after the k=14 comparison).
+	K   int
+	Rng *rand.Rand
+}
+
+// NewSimulation builds a study with the default calibrated worker model.
+func NewSimulation(p *semparse.Parser, seed int64) *Simulation {
+	return &Simulation{Parser: p, Model: DefaultWorkerModel(), K: 7, Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Outcome is the record of one (question, worker) interaction.
+type Outcome struct {
+	ExampleID     int
+	Shown         int  // candidate explanations shown
+	GoldInTopK    bool // correctness bound event
+	ParserCorrect bool // top-1 is the gold query
+	UserCorrect   bool // worker selected the gold query
+	// HybridCorrect: worker's choice if any, else parser's top-1
+	// (Section 7.2 "Hybrid correctness").
+	HybridCorrect bool
+	Success       bool    // Table 4 judgement success
+	Seconds       float64 // time spent
+	// SelectedQuery is the canonical query the worker marked correct
+	// ("" for None) — the feedback used for retraining.
+	SelectedQuery string
+}
+
+// RunQuestion parses one example, explains top-k to one worker and
+// records the outcome.
+func (s *Simulation) RunQuestion(ex *semparse.Example, w *Worker, highlights bool) Outcome {
+	cands := s.Parser.ParseAll(ex.Question, ex.Table)
+	if len(cands) > s.K {
+		cands = cands[:s.K]
+	}
+	correct := make([]bool, len(cands))
+	goldIn := false
+	for i, c := range cands {
+		correct[i] = c.Key() == ex.GoldQuery
+		goldIn = goldIn || correct[i]
+	}
+	choice := w.Review(correct, highlights)
+
+	o := Outcome{
+		ExampleID:  ex.ID,
+		Shown:      len(cands),
+		GoldInTopK: goldIn,
+		Success:    choice.SuccessfulJudgement,
+		Seconds:    choice.Seconds,
+	}
+	if len(cands) > 0 {
+		o.ParserCorrect = correct[0]
+	}
+	if choice.Selected >= 0 {
+		o.UserCorrect = correct[choice.Selected]
+		o.SelectedQuery = cands[choice.Selected].Key()
+		o.HybridCorrect = o.UserCorrect
+	} else {
+		o.HybridCorrect = o.ParserCorrect
+	}
+	return o
+}
+
+// Run simulates nWorkers each answering questionsPerWorker questions
+// drawn round-robin from the example pool, with highlights on or off.
+func (s *Simulation) Run(examples []*semparse.Example, nWorkers, questionsPerWorker int, highlights bool) []Outcome {
+	var out []Outcome
+	qi := 0
+	for wi := 0; wi < nWorkers; wi++ {
+		w := NewWorker(s.Model, s.Rng)
+		for k := 0; k < questionsPerWorker; k++ {
+			ex := examples[qi%len(examples)]
+			qi++
+			out = append(out, s.RunQuestion(ex, w, highlights))
+		}
+	}
+	return out
+}
+
+// Rates aggregates outcome fractions (Table 6's four rows).
+type Rates struct {
+	N       int
+	Parser  float64
+	User    float64
+	Hybrid  float64
+	Bound   float64
+	Success float64
+	// Counts (numerators) for significance testing.
+	ParserN, UserN, HybridN, BoundN, SuccessN int
+}
+
+// Aggregate computes rates over outcomes.
+func Aggregate(outcomes []Outcome) Rates {
+	r := Rates{N: len(outcomes)}
+	for _, o := range outcomes {
+		if o.ParserCorrect {
+			r.ParserN++
+		}
+		if o.UserCorrect {
+			r.UserN++
+		}
+		if o.HybridCorrect {
+			r.HybridN++
+		}
+		if o.GoldInTopK {
+			r.BoundN++
+		}
+		if o.Success {
+			r.SuccessN++
+		}
+	}
+	if r.N > 0 {
+		n := float64(r.N)
+		r.Parser = float64(r.ParserN) / n
+		r.User = float64(r.UserN) / n
+		r.Hybrid = float64(r.HybridN) / n
+		r.Bound = float64(r.BoundN) / n
+		r.Success = float64(r.SuccessN) / n
+	}
+	return r
+}
+
+// WorkTimes summarizes per-worker total minutes (Table 5's columns).
+type WorkTimes struct {
+	Avg, Median, Min, Max float64
+}
+
+// SummarizeWorkTimes groups outcomes into consecutive runs of
+// questionsPerWorker and reports per-worker minutes.
+func SummarizeWorkTimes(outcomes []Outcome, questionsPerWorker int) WorkTimes {
+	var totals []float64
+	for i := 0; i+questionsPerWorker <= len(outcomes); i += questionsPerWorker {
+		sum := 0.0
+		for _, o := range outcomes[i : i+questionsPerWorker] {
+			sum += o.Seconds
+		}
+		totals = append(totals, sum/60)
+	}
+	if len(totals) == 0 {
+		return WorkTimes{}
+	}
+	sort.Float64s(totals)
+	wt := WorkTimes{Min: totals[0], Max: totals[len(totals)-1]}
+	sum := 0.0
+	for _, t := range totals {
+		sum += t
+	}
+	wt.Avg = sum / float64(len(totals))
+	mid := len(totals) / 2
+	if len(totals)%2 == 1 {
+		wt.Median = totals[mid]
+	} else {
+		wt.Median = (totals[mid-1] + totals[mid]) / 2
+	}
+	return wt
+}
+
+// ChiSquare computes the χ² statistic (1 degree of freedom, 2×2 table)
+// comparing successes/totals of two conditions, as used for the †
+// significance marks of Table 6.
+func ChiSquare(successA, totalA, successB, totalB int) float64 {
+	a := float64(successA)
+	b := float64(totalA - successA)
+	c := float64(successB)
+	d := float64(totalB - successB)
+	n := a + b + c + d
+	num := n * math.Pow(a*d-b*c, 2)
+	den := (a + b) * (c + d) * (a + c) * (b + d)
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// SignificantAt01 reports whether a χ² statistic with 1 df exceeds the
+// 0.01 critical value (6.635).
+func SignificantAt01(chi2 float64) bool { return chi2 > 6.635 }

@@ -1,0 +1,223 @@
+package study
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nlexplain/internal/semparse"
+	"nlexplain/internal/wikitables"
+)
+
+func smallDataset(t testing.TB) *wikitables.Dataset {
+	t.Helper()
+	return wikitables.Generate(wikitables.Options{
+		Tables: 30, QuestionsPerTable: 6, TestFraction: 0.3, Hardness: 0.55, Seed: 77,
+	})
+}
+
+func trainedParser(t testing.TB, ds *wikitables.Dataset) *semparse.Parser {
+	t.Helper()
+	p := semparse.NewParser()
+	opt := semparse.DefaultTrainOptions()
+	opt.Epochs = 3
+	p.Train(ds.Train, opt)
+	return p
+}
+
+func TestWorkerJudgeAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := DefaultWorkerModel()
+	w := NewWorker(m, rng)
+	hits := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		if w.Judge(i%2 == 0) == (i%2 == 0) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if math.Abs(got-m.JudgeAccuracy) > 0.01 {
+		t.Errorf("empirical judge accuracy %.3f, want %.3f", got, m.JudgeAccuracy)
+	}
+}
+
+func TestWorkerReadTimeHighlightsFaster(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := DefaultWorkerModel()
+	sumU, sumH := 0.0, 0.0
+	n := 5000
+	for i := 0; i < n; i++ {
+		w := NewWorker(m, rng)
+		sumU += w.ReadTime(false)
+		sumH += w.ReadTime(true)
+	}
+	if sumH >= sumU {
+		t.Errorf("highlights should be faster: %.1f vs %.1f", sumH/float64(n), sumU/float64(n))
+	}
+	ratio := sumU / sumH
+	if ratio < 1.3 || ratio > 1.8 {
+		t.Errorf("read time ratio %.2f outside the Table 5 regime (~1.5)", ratio)
+	}
+}
+
+func TestReviewSelectsCorrectUsually(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := DefaultWorkerModel()
+	successes := 0
+	n := 4000
+	for i := 0; i < n; i++ {
+		w := NewWorker(m, rng)
+		correct := []bool{false, false, true, false, false, false, false}
+		c := w.Review(correct, true)
+		if c.SuccessfulJudgement {
+			successes++
+		}
+	}
+	rate := float64(successes) / float64(n)
+	if rate < 0.80 || rate > 0.95 {
+		t.Errorf("review success rate %.3f outside expected band", rate)
+	}
+}
+
+func TestReviewNoneCase(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := DefaultWorkerModel()
+	w := NewWorker(m, rng)
+	noneRight := 0
+	n := 4000
+	for i := 0; i < n; i++ {
+		c := w.Review(make([]bool, 7), true)
+		if c.Selected == -1 && c.SuccessfulJudgement {
+			noneRight++
+		}
+	}
+	rate := float64(noneRight) / float64(n)
+	// a^7 with a = 0.956 ≈ 0.73
+	if rate < 0.65 || rate > 0.82 {
+		t.Errorf("None success rate %.3f outside expected band", rate)
+	}
+}
+
+func TestSimulationHybridDominates(t *testing.T) {
+	ds := smallDataset(t)
+	p := trainedParser(t, ds)
+	sim := NewSimulation(p, 9)
+	outcomes := sim.Run(ds.Test, 20, 20, true)
+	r := Aggregate(outcomes)
+
+	// The ordering the paper reports in Table 6:
+	// parser ≤ user ≤ hybrid ≤ bound (up to simulation noise on user).
+	if r.Hybrid < r.Parser {
+		t.Errorf("hybrid %.3f < parser %.3f", r.Hybrid, r.Parser)
+	}
+	if r.Hybrid > r.Bound+1e-9 {
+		t.Errorf("hybrid %.3f exceeds bound %.3f", r.Hybrid, r.Bound)
+	}
+	if r.User > r.Bound+1e-9 {
+		t.Errorf("user %.3f exceeds bound %.3f", r.User, r.Bound)
+	}
+	if r.Success < 0.6 || r.Success > 0.95 {
+		t.Errorf("judgement success %.3f outside plausible band", r.Success)
+	}
+}
+
+func TestSimulationDeterministicPerSeed(t *testing.T) {
+	ds := smallDataset(t)
+	p := trainedParser(t, ds)
+	a := Aggregate(NewSimulation(p, 42).Run(ds.Test, 5, 10, true))
+	b := Aggregate(NewSimulation(p, 42).Run(ds.Test, 5, 10, true))
+	if a != b {
+		t.Errorf("same seed produced different rates: %+v vs %+v", a, b)
+	}
+}
+
+func TestWorkTimesSummary(t *testing.T) {
+	outcomes := []Outcome{
+		{Seconds: 60}, {Seconds: 120}, // worker 1: 3m
+		{Seconds: 300}, {Seconds: 300}, // worker 2: 10m
+	}
+	wt := SummarizeWorkTimes(outcomes, 2)
+	if wt.Min != 3 || wt.Max != 10 || wt.Avg != 6.5 || wt.Median != 6.5 {
+		t.Errorf("work times = %+v", wt)
+	}
+}
+
+func TestHighlightsCutWorkTime(t *testing.T) {
+	ds := smallDataset(t)
+	p := trainedParser(t, ds)
+	sim := NewSimulation(p, 5)
+	with := SummarizeWorkTimes(sim.Run(ds.Test, 10, 20, true), 20)
+	without := SummarizeWorkTimes(sim.Run(ds.Test, 10, 20, false), 20)
+	if with.Avg >= without.Avg {
+		t.Errorf("highlights group slower: %.1fm vs %.1fm", with.Avg, without.Avg)
+	}
+	reduction := 1 - with.Avg/without.Avg
+	// Paper reports a 34% average reduction; accept a generous band.
+	if reduction < 0.2 || reduction > 0.5 {
+		t.Errorf("work-time reduction %.2f outside the Table 5 regime", reduction)
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	// The paper's own Table 6 numbers: users 312/700 vs parser 260/700
+	// is significant at 0.01.
+	chi := ChiSquare(312, 700, 260, 700)
+	if !SignificantAt01(chi) {
+		t.Errorf("χ² = %.2f for the paper's user-vs-parser comparison should be significant", chi)
+	}
+	// Identical rates are not significant.
+	if SignificantAt01(ChiSquare(100, 200, 100, 200)) {
+		t.Error("identical rates must not be significant")
+	}
+}
+
+func TestCollectAnnotationsMajority(t *testing.T) {
+	ds := smallDataset(t)
+	p := trainedParser(t, ds)
+	sim := NewSimulation(p, 13)
+	annotated := sim.CollectAnnotations(ds.Train[:60], 3, 2)
+	if len(annotated) == 0 {
+		t.Fatal("no annotations collected")
+	}
+	// Majority-approved annotations should usually be the gold query.
+	correct := 0
+	total := 0
+	for _, ex := range annotated {
+		for q := range ex.Annotations {
+			total++
+			if q == ex.GoldQuery {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("annotations empty")
+	}
+	precision := float64(correct) / float64(total)
+	if precision < 0.8 {
+		t.Errorf("annotation precision %.3f, want >= 0.8 (majority vote quality)", precision)
+	}
+}
+
+func TestTrainOnFeedbackImproves(t *testing.T) {
+	ds := smallDataset(t)
+	base := semparse.NewParser()
+	sim := NewSimulation(trainedParser(t, ds), 21)
+
+	train := ds.Train
+	annotated := sim.CollectAnnotations(train, 3, 2)
+	dev := ds.Test
+
+	opt := semparse.DefaultTrainOptions()
+	opt.Epochs = 3
+	with, without := TrainOnFeedback(base, train, annotated, dev, opt)
+
+	if with.Annotations == 0 {
+		t.Fatal("no annotations in feedback run")
+	}
+	// The Table 9 effect: annotations must not hurt, and typically help.
+	if with.Correctness+0.02 < without.Correctness {
+		t.Errorf("annotated training hurt correctness: %.3f vs %.3f", with.Correctness, without.Correctness)
+	}
+}

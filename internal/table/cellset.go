@@ -1,0 +1,123 @@
+package table
+
+import (
+	"sort"
+	"strings"
+)
+
+// CellSet is a set of cell references, the codomain of the provenance
+// functions P∗(Q,T) of Definition 4.1.
+type CellSet map[CellRef]struct{}
+
+// NewCellSet builds a set from the given references.
+func NewCellSet(cells ...CellRef) CellSet {
+	s := make(CellSet, len(cells))
+	for _, c := range cells {
+		s[c] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts a reference.
+func (s CellSet) Add(c CellRef) { s[c] = struct{}{} }
+
+// AddAll inserts every reference in cells.
+func (s CellSet) AddAll(cells []CellRef) {
+	for _, c := range cells {
+		s[c] = struct{}{}
+	}
+}
+
+// Union inserts every member of o into s.
+func (s CellSet) Union(o CellSet) {
+	for c := range o {
+		s[c] = struct{}{}
+	}
+}
+
+// Contains reports membership.
+func (s CellSet) Contains(c CellRef) bool {
+	_, ok := s[c]
+	return ok
+}
+
+// SubsetOf reports whether every member of s is in o. The provenance
+// chain PO ⊆ PE ⊆ PC of Definition 4.1 is verified with this.
+func (s CellSet) SubsetOf(o CellSet) bool {
+	for c := range s {
+		if !o.Contains(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns a new set holding the members common to s and o.
+func (s CellSet) Intersect(o CellSet) CellSet {
+	out := make(CellSet)
+	for c := range s {
+		if o.Contains(c) {
+			out.Add(c)
+		}
+	}
+	return out
+}
+
+// Minus returns a new set holding the members of s not in o.
+func (s CellSet) Minus(o CellSet) CellSet {
+	out := make(CellSet)
+	for c := range s {
+		if !o.Contains(c) {
+			out.Add(c)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (s CellSet) Clone() CellSet {
+	out := make(CellSet, len(s))
+	for c := range s {
+		out[c] = struct{}{}
+	}
+	return out
+}
+
+// Sorted returns the members in row-major order.
+func (s CellSet) Sorted() []CellRef {
+	out := make([]CellRef, 0, len(s))
+	for c := range s {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Rows returns the sorted distinct record indices touched by the set —
+// the record-set projection R∗(Q,T) used for sampling in Section 5.3.
+func (s CellSet) Rows() []int {
+	seen := make(map[int]bool)
+	var out []int
+	for c := range s {
+		if !seen[c.Row] {
+			seen[c.Row] = true
+			out = append(out, c.Row)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// String renders the set as a sorted list, for test failure messages.
+func (s CellSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, c := range s.Sorted() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(c.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,229 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// CellRef identifies one cell by record index (row) and column index.
+// It is the unit of the cell-based provenance model of Section 4.
+type CellRef struct {
+	Row int
+	Col int
+}
+
+// String renders the reference as "(row,col)".
+func (c CellRef) String() string { return fmt.Sprintf("(%d,%d)", c.Row, c.Col) }
+
+// Less orders cell references row-major, for deterministic output.
+func (c CellRef) Less(o CellRef) bool {
+	if c.Row != o.Row {
+		return c.Row < o.Row
+	}
+	return c.Col < o.Col
+}
+
+// Table is a single web table: an ordered relation whose records carry a
+// unique Index (0,1,2,…) and an implicit Prev pointer to the record above
+// (Section 3.1). Tables are immutable after construction.
+type Table struct {
+	name    string
+	columns []string
+	rows    [][]Value
+	raw     [][]string
+	// kb indexes each column as a binary relation: value key -> record
+	// indices where the column holds that value (the KB view of 3.1).
+	kb []map[string][]int
+	// colIndex resolves a (case-insensitive) header to a column index.
+	colIndex map[string]int
+}
+
+// New builds a table from a name, header row and raw cell text. Every row
+// must have exactly len(columns) cells.
+func New(name string, columns []string, rows [][]string) (*Table, error) {
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("table %q: no columns", name)
+	}
+	t := &Table{
+		name:     name,
+		columns:  append([]string(nil), columns...),
+		colIndex: make(map[string]int, len(columns)),
+	}
+	for i, c := range columns {
+		key := strings.ToLower(strings.TrimSpace(c))
+		if _, dup := t.colIndex[key]; dup {
+			return nil, fmt.Errorf("table %q: duplicate column %q", name, c)
+		}
+		t.colIndex[key] = i
+	}
+	t.rows = make([][]Value, len(rows))
+	t.raw = make([][]string, len(rows))
+	for r, row := range rows {
+		if len(row) != len(columns) {
+			return nil, fmt.Errorf("table %q: row %d has %d cells, want %d", name, r, len(row), len(columns))
+		}
+		vals := make([]Value, len(row))
+		for c, cell := range row {
+			vals[c] = ParseValue(cell)
+		}
+		t.rows[r] = vals
+		t.raw[r] = append([]string(nil), row...)
+	}
+	t.buildKB()
+	return t, nil
+}
+
+// MustNew is New, panicking on error; intended for fixtures and examples.
+func MustNew(name string, columns []string, rows [][]string) *Table {
+	t, err := New(name, columns, rows)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// FromCSV reads a table from CSV: the first record is the header.
+func FromCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table %q: reading csv: %w", name, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("table %q: empty csv", name)
+	}
+	header := recs[0]
+	body := recs[1:]
+	for i, row := range body {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("table %q: csv row %d has %d fields, want %d", name, i+1, len(row), len(header))
+		}
+	}
+	return New(name, header, body)
+}
+
+func (t *Table) buildKB() {
+	t.kb = make([]map[string][]int, len(t.columns))
+	for c := range t.columns {
+		t.kb[c] = make(map[string][]int)
+	}
+	for r, row := range t.rows {
+		for c, v := range row {
+			k := v.Key()
+			t.kb[c][k] = append(t.kb[c][k], r)
+		}
+	}
+}
+
+// Name returns the table's name.
+func (t *Table) Name() string { return t.name }
+
+// NumRows returns the number of records.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return len(t.columns) }
+
+// Columns returns the header names (a copy).
+func (t *Table) Columns() []string { return append([]string(nil), t.columns...) }
+
+// Column returns the header of column c.
+func (t *Table) Column(c int) string { return t.columns[c] }
+
+// ColumnIndex resolves a header name case-insensitively.
+func (t *Table) ColumnIndex(name string) (int, bool) {
+	i, ok := t.colIndex[strings.ToLower(strings.TrimSpace(name))]
+	return i, ok
+}
+
+// Value returns the typed value at (row, col).
+func (t *Table) Value(row, col int) Value { return t.rows[row][col] }
+
+// Raw returns the original cell text at (row, col).
+func (t *Table) Raw(row, col int) string { return t.raw[row][col] }
+
+// CellValue returns the typed value a CellRef points at.
+func (t *Table) CellValue(c CellRef) Value { return t.rows[c.Row][c.Col] }
+
+// Records returns all record indices, in table order.
+func (t *Table) Records() []int {
+	out := make([]int, len(t.rows))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// RecordsWhere returns, in table order, the record indices where column
+// col holds a value equal to v — the binary-relation lookup C.v of the KB
+// view (e.g. Country.Greece).
+func (t *Table) RecordsWhere(col int, v Value) []int {
+	rows := t.kb[col][v.Key()]
+	return append([]int(nil), rows...)
+}
+
+// ColumnCells returns the cell references of every cell in column col,
+// in record order. This is the PC provenance primitive.
+func (t *Table) ColumnCells(col int) []CellRef {
+	out := make([]CellRef, len(t.rows))
+	for r := range t.rows {
+		out[r] = CellRef{Row: r, Col: col}
+	}
+	return out
+}
+
+// DistinctColumnValues returns the distinct values of a column in first-
+// appearance order; used by candidate generation and the most-frequent
+// operator.
+func (t *Table) DistinctColumnValues(col int) []Value {
+	seen := make(map[string]bool)
+	var out []Value
+	for r := range t.rows {
+		v := t.rows[r][col]
+		if k := v.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SortCells orders a cell slice row-major in place and returns it.
+func SortCells(cells []CellRef) []CellRef {
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Less(cells[j]) })
+	return cells
+}
+
+// String renders the table as aligned plain text (for debugging and docs).
+func (t *Table) String() string {
+	var b strings.Builder
+	widths := make([]int, len(t.columns))
+	for c, h := range t.columns {
+		widths[c] = len(h)
+	}
+	for r := range t.rows {
+		for c := range t.columns {
+			if n := len(t.raw[r][c]); n > widths[c] {
+				widths[c] = n
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for c, s := range cells {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[c], s)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.columns)
+	for r := range t.rows {
+		writeRow(t.raw[r])
+	}
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package wikitables
+
+import (
+	"math/rand"
+	"strings"
+
+	"nlexplain/internal/dcs"
+	"nlexplain/internal/semparse"
+	"nlexplain/internal/table"
+)
+
+// Options configures dataset generation.
+type Options struct {
+	// Tables is the number of distinct tables to generate.
+	Tables int
+	// QuestionsPerTable is the number of questions written per table
+	// (AMT workers wrote several trivia questions per table).
+	QuestionsPerTable int
+	// TestFraction of the tables (with their questions) becomes the
+	// test set; the paper sets aside 20% of tables (Section 6.1).
+	TestFraction float64
+	// Hardness is the probability that a question is obfuscated the way
+	// crowd questions are: entities referred to by a fragment of the
+	// cell text ("Huron" for "Lake Huron") and trigger words replaced by
+	// out-of-lexicon synonyms. Obfuscated questions often make the gold
+	// query unreachable for the candidate generator, which is what
+	// produces the paper's 56% top-k correctness bound (Section 7.2).
+	Hardness float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultOptions gives a medium-sized dataset whose difficulty is
+// calibrated so a trained parser lands near the paper's operating point
+// (correctness ≈ 37%, top-7 bound ≈ 56%, Table 6).
+func DefaultOptions() Options {
+	return Options{Tables: 120, QuestionsPerTable: 10, TestFraction: 0.2, Hardness: 0.55, Seed: 2019}
+}
+
+// Dataset is a generated benchmark with the paper's table-disjoint split.
+type Dataset struct {
+	Train []*semparse.Example
+	Test  []*semparse.Example
+	// TrainTables and TestTables are the disjoint table pools.
+	TrainTables []*table.Table
+	TestTables  []*table.Table
+}
+
+// Generate builds a synthetic WikiTableQuestions-style dataset.
+func Generate(opt Options) *Dataset {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	ds := &Dataset{}
+	nTest := int(float64(opt.Tables) * opt.TestFraction)
+	id := 0
+	for ti := 0; ti < opt.Tables; ti++ {
+		d := Domains[ti%len(Domains)]
+		t := GenTable(rng, d, ti)
+		isTest := ti < nTest
+		if isTest {
+			ds.TestTables = append(ds.TestTables, t)
+		} else {
+			ds.TrainTables = append(ds.TrainTables, t)
+		}
+		for qi := 0; qi < opt.QuestionsPerTable; qi++ {
+			ex, ok := genExample(rng, t, d, id)
+			if !ok {
+				continue
+			}
+			if rng.Float64() < opt.Hardness {
+				ex.Question = obfuscate(rng, ex.Question)
+			}
+			id++
+			if isTest {
+				ds.Test = append(ds.Test, ex)
+			} else {
+				ds.Train = append(ds.Train, ex)
+			}
+		}
+	}
+	return ds
+}
+
+// obfuscate rewrites a question the way crowd workers paraphrase:
+// multi-word entity mentions lose their leading word ("Lake Huron" →
+// "Huron", "Jeff Lastennet" → "Lastennet") and common trigger words are
+// replaced with synonyms outside the parser's lexicon. The gold query
+// and answer stay unchanged — only the surface form gets harder.
+func obfuscate(rng *rand.Rand, q string) string {
+	words := strings.Fields(q)
+	// Corrupt one entity mention: drop the first word of a capitalized
+	// run ("Lake Huron" -> "Huron"), or typo a lone capitalized word
+	// ("Greece" -> "Grecee"), the way crowd workers misquote cell text.
+	// Entities sit late in the question; column mentions early. Corrupt
+	// the last capitalized run so the grounding that breaks is usually
+	// the entity the gold query needs.
+	for i := len(words) - 1; i >= 1; i-- {
+		if !isCapitalized(words[i]) {
+			continue
+		}
+		if i-1 >= 1 && isCapitalized(words[i-1]) {
+			words = append(words[:i-1], words[i:]...)
+		} else {
+			words[i] = typo(rng, words[i])
+		}
+		break
+	}
+	q = strings.Join(words, " ")
+	// Synonym swaps outside the trigger lexicon.
+	swaps := [][2]string{
+		{"how many", "what quantity of"},
+		{"difference", "gap"},
+		{"highest", "peak"},
+		{"lowest", "floor"},
+		{"the most", "predominantly"},
+		{"average", "typical"},
+		{"total", "overall"},
+		{"more than", "exceeding"},
+		{"less than", "short of"},
+		{"last", "closing"},
+		{"first", "opening"},
+	}
+	for _, s := range swaps {
+		if strings.Contains(q, s[0]) && rng.Intn(4) > 0 {
+			q = strings.Replace(q, s[0], s[1], 1)
+		}
+	}
+	return q
+}
+
+func isCapitalized(w string) bool {
+	return len(w) > 0 && w[0] >= 'A' && w[0] <= 'Z'
+}
+
+// typo swaps two adjacent interior letters of a word.
+func typo(rng *rand.Rand, w string) string {
+	if len(w) < 4 {
+		return w
+	}
+	b := []byte(w)
+	i := 1 + rng.Intn(len(b)-3)
+	b[i], b[i+1] = b[i+1], b[i]
+	return string(b)
+}
+
+// genExample draws templates until one grounds in the table with a
+// well-defined, non-degenerate answer.
+func genExample(rng *rand.Rand, t *table.Table, d Domain, id int) (*semparse.Example, bool) {
+	for attempt := 0; attempt < 20; attempt++ {
+		tmpl := templates[rng.Intn(len(templates))]
+		q, gold, ok := tmpl.build(rng, t, d)
+		if !ok {
+			continue
+		}
+		res, err := dcs.Execute(gold, t)
+		if err != nil || res.Empty() {
+			continue
+		}
+		return &semparse.Example{
+			ID:        id,
+			Question:  q,
+			Table:     t,
+			Answer:    res.AnswerKey(),
+			GoldQuery: gold.String(),
+		}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,241 @@
+// Package nlexplain explains formal queries over web tables to
+// non-expert users, reproducing "Explaining Queries over Web Tables to
+// Non-Experts" (Berant, Deutch, Globerson, Milo, Wolfson — ICDE 2019).
+//
+// The library provides, end to end:
+//
+//   - a lambda DCS query language over single web tables (parser, type
+//     checker, executor), with a verified translation to SQL;
+//   - the paper's multilevel cell-based provenance model
+//     Prov(Q,T) = (PO, PE, PC) and provenance-based table highlights
+//     (Algorithm 1), with record sampling for large tables;
+//   - query-to-utterance explanation via an NL-templated grammar
+//     (Table 3), including derivation trees (Figure 3);
+//   - a trainable log-linear semantic parser mapping NL questions to
+//     candidate queries (Eq. 4-8), supporting answer supervision and
+//     annotation (human-in-the-loop) supervision;
+//   - renderers (text, ANSI, HTML) for highlighted tables.
+//
+// Quick start:
+//
+//	t, _ := nlexplain.NewTable("olympics",
+//	    []string{"Year", "Country", "City"},
+//	    [][]string{{"1896", "Greece", "Athens"}, {"2004", "Greece", "Athens"}})
+//	q, _ := nlexplain.ParseQuery("max(R[Year].Country.Greece)")
+//	ex, _ := nlexplain.Explain(q, t)
+//	fmt.Println(ex.Utterance) // "maximum of values in column Year in rows where ..."
+//	fmt.Println(ex.Text())    // the highlighted table
+package nlexplain
+
+import (
+	"fmt"
+	"io"
+
+	"nlexplain/internal/dcs"
+	"nlexplain/internal/export"
+	"nlexplain/internal/provenance"
+	"nlexplain/internal/render"
+	"nlexplain/internal/semparse"
+	"nlexplain/internal/sqlgen"
+	"nlexplain/internal/table"
+	"nlexplain/internal/utterance"
+)
+
+// Core data-model types (see the table package for full documentation).
+type (
+	// Table is a single web table with ordered, indexed records.
+	Table = table.Table
+	// Value is a typed cell value (string, number or date).
+	Value = table.Value
+	// CellRef identifies one cell by (row, column).
+	CellRef = table.CellRef
+	// CellSet is a set of cells — the codomain of the provenance
+	// functions.
+	CellSet = table.CellSet
+)
+
+// Query-language types.
+type (
+	// Query is a lambda DCS expression.
+	Query = dcs.Expr
+	// Result is a query denotation: records, values or a scalar.
+	Result = dcs.Result
+)
+
+// Provenance and explanation types.
+type (
+	// Provenance is the multilevel cell-based provenance (PO, PE, PC).
+	Provenance = provenance.Prov
+	// Highlights assigns each cell its marking per Algorithm 1.
+	Highlights = provenance.Highlights
+	// Marking is a highlight class: None, Lit, Framed or Colored.
+	Marking = provenance.Marking
+	// DerivationNode is a node of the Figure 3 derivation tree.
+	DerivationNode = utterance.Node
+)
+
+// Highlight marking levels.
+const (
+	MarkNone    = provenance.None
+	MarkLit     = provenance.Lit
+	MarkFramed  = provenance.Framed
+	MarkColored = provenance.Colored
+)
+
+// Semantic-parser types.
+type (
+	// Parser is the trainable log-linear semantic parser.
+	Parser = semparse.Parser
+	// Candidate is one generated query with features and result.
+	Candidate = semparse.Candidate
+	// Example is a training/evaluation instance.
+	Example = semparse.Example
+	// TrainOptions configures AdaGrad + L1 training.
+	TrainOptions = semparse.TrainOptions
+	// Metrics aggregates correctness / answer accuracy / MRR / bound.
+	Metrics = semparse.Metrics
+)
+
+// NewTable builds a table from a header and raw rows; cell text is
+// typed automatically (numbers, dates, strings).
+func NewTable(name string, columns []string, rows [][]string) (*Table, error) {
+	return table.New(name, columns, rows)
+}
+
+// TableFromCSV reads a table whose first CSV record is the header.
+func TableFromCSV(name string, r io.Reader) (*Table, error) {
+	return table.FromCSV(name, r)
+}
+
+// ParseQuery reads a lambda DCS expression in the paper's surface
+// syntax, e.g. "max(R[Year].Country.Greece)".
+func ParseQuery(src string) (Query, error) { return dcs.Parse(src) }
+
+// ExecuteQuery checks and evaluates a query against a table.
+func ExecuteQuery(q Query, t *Table) (*Result, error) { return dcs.Execute(q, t) }
+
+// ToSQL translates a query to SQL over the table "T" (the Table 10
+// mapping).
+func ToSQL(q Query) (string, error) { return sqlgen.TranslateSQL(q) }
+
+// Utter renders the NL utterance explaining a query (Section 5.1).
+func Utter(q Query) string { return utterance.Utter(q) }
+
+// Derive builds the derivation tree carrying both the formal query and
+// its utterance (Figure 3).
+func Derive(q Query) *DerivationNode { return utterance.Derive(q) }
+
+// HighlightQuery computes provenance-based highlights for a query on a
+// table (Algorithm 1).
+func HighlightQuery(q Query, t *Table) (*Highlights, error) {
+	return provenance.Highlight(q, t)
+}
+
+// SampleRows picks representative records for rendering a large table's
+// highlights (Section 5.3).
+func SampleRows(q Query, t *Table, h *Highlights) []int {
+	return provenance.Sample(q, t, h)
+}
+
+// NewParser returns the baseline semantic parser with heuristic
+// initial weights; train it with (*Parser).Train.
+func NewParser() *Parser { return semparse.NewParser() }
+
+// Explanation is the complete explanation bundle of one query on one
+// table: what the deployment interface shows a non-expert next to each
+// candidate (Section 6.3).
+type Explanation struct {
+	Query      Query
+	Table      *Table
+	Utterance  string
+	SQL        string // empty if the query is outside the SQL fragment
+	Highlights *Highlights
+	// SampleRows are the Section 5.3 representative records; renderers
+	// use them when the table is large.
+	SampleRows []int
+}
+
+// Explain builds the full explanation for a query over a table.
+func Explain(q Query, t *Table) (*Explanation, error) {
+	h, err := provenance.Highlight(q, t)
+	if err != nil {
+		return nil, err
+	}
+	e := &Explanation{
+		Query:      q,
+		Table:      t,
+		Utterance:  utterance.Utter(q),
+		Highlights: h,
+		SampleRows: provenance.Sample(q, t, h),
+	}
+	if sql, err := sqlgen.TranslateSQL(q); err == nil {
+		e.SQL = sql
+	}
+	return e, nil
+}
+
+// displayRows returns all rows for small tables and the provenance
+// sample for large ones.
+func (e *Explanation) displayRows() []int {
+	const largeTable = 40
+	if e.Table.NumRows() > largeTable {
+		return e.SampleRows
+	}
+	return nil
+}
+
+// Text renders the highlighted table with plain-text markers.
+func (e *Explanation) Text() string {
+	return render.Text(e.Table, e.Highlights, e.displayRows())
+}
+
+// ANSI renders the highlighted table with terminal colors.
+func (e *Explanation) ANSI() string {
+	return render.ANSI(e.Table, e.Highlights, e.displayRows())
+}
+
+// HTML renders the highlighted table as an HTML fragment; pair it with
+// HighlightCSS.
+func (e *Explanation) HTML() string {
+	return render.HTML(e.Table, e.Highlights, e.displayRows())
+}
+
+// HighlightCSS is the stylesheet for Explanation.HTML output.
+func HighlightCSS() string { return render.CSS() }
+
+// HighlightLegend describes the text markers used by Explanation.Text.
+func HighlightLegend() string { return render.Legend() }
+
+// ExplainJSON serializes the full explanation of a query over a table
+// as indented JSON — the wire format a web front-end (the paper's
+// deployment interface of Section 6.3) consumes. Large tables are
+// sampled per Section 5.3.
+func ExplainJSON(q Query, t *Table) ([]byte, error) {
+	return export.Marshal(q, t)
+}
+
+// CandidateExplanation pairs a ranked candidate with its explanation —
+// one row of the deployment interface.
+type CandidateExplanation struct {
+	Rank        int
+	Candidate   *Candidate
+	Explanation *Explanation
+}
+
+// ExplainQuestion runs the deployment pipeline of Figure 2: parse the
+// question into ranked candidate queries and explain each of the top-k.
+func ExplainQuestion(p *Parser, question string, t *Table) ([]CandidateExplanation, error) {
+	cands := p.Parse(question, t)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("no candidate queries generated for %q", question)
+	}
+	out := make([]CandidateExplanation, 0, len(cands))
+	for i, c := range cands {
+		ex, err := Explain(c.Query, t)
+		if err != nil {
+			return nil, fmt.Errorf("explaining candidate %d (%s): %w", i+1, c.Query, err)
+		}
+		out = append(out, CandidateExplanation{Rank: i + 1, Candidate: c, Explanation: ex})
+	}
+	return out, nil
+}
