@@ -1,0 +1,34 @@
+# CI and humans invoke the same targets: .github/workflows/ci.yml runs
+# build, vet, fmt, test and bench through this file.
+
+GO ?= go
+
+.PHONY: all build test vet fmt bench serve ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails when any file needs reformatting, listing the offenders.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# bench smoke-runs every benchmark once; -benchtime=1x keeps it cheap
+# enough for CI while still executing each pipeline end to end.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+serve:
+	$(GO) run ./cmd/wtq-server -demo
+
+ci: build vet fmt test bench

@@ -1,0 +1,312 @@
+// Command wtq-server serves query explanations over HTTP/JSON — the
+// deployment interface of Section 6.3 as a service, backed by the
+// concurrent explanation engine (table registry, AST/result caches,
+// bounded worker pool).
+//
+// Endpoints:
+//
+//	POST /v1/tables        register a table {name, columns, rows} or {name, csv}
+//	GET  /v1/tables        list registered tables
+//	POST /v1/explain       {table, query} -> utterance + highlights + provenance
+//	POST /v1/explain/batch {queries: [{table, query}...], timeout_ms} -> in-order results
+//	POST /v1/parse         {table, question, top_k} -> ranked candidate queries
+//	GET  /v1/healthz       liveness + table count
+//	GET  /v1/stats         engine counters for scraping
+//
+// Run `wtq-server -demo` to start with the paper's Figure 1 olympics
+// table pre-registered; see examples/server for a curl transcript.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"nlexplain"
+)
+
+// server wires the engine to HTTP handlers.
+type server struct {
+	engine *nlexplain.Engine
+}
+
+func newMux(e *nlexplain.Engine) *http.ServeMux {
+	s := &server{engine: e}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tables", s.handleRegisterTable)
+	mux.HandleFunc("GET /v1/tables", s.handleListTables)
+	mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	mux.HandleFunc("POST /v1/explain/batch", s.handleExplainBatch)
+	mux.HandleFunc("POST /v1/parse", s.handleParse)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encoding response: %v", err)
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// errStatus maps a pipeline error to an HTTP status: missing tables
+// are 404, deadline hits are 504, client disconnects are 499 (the
+// nginx convention; the client is gone and will not read it anyway),
+// everything else is the client's 400 (bad query, bad table payload).
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499
+	case errors.Is(err, nlexplain.ErrUnknownTable):
+		return http.StatusNotFound
+	case errors.Is(err, nlexplain.ErrInternal):
+		return http.StatusInternalServerError
+	case errors.Is(err, nlexplain.ErrOverloaded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// errMessage is the client-facing text for a pipeline error. Contained
+// panics (ErrInternal) are logged server-side and replaced with a
+// generic message so internal state never reaches the response body.
+func errMessage(err error) string {
+	if errors.Is(err, nlexplain.ErrInternal) {
+		log.Printf("internal pipeline error: %v", err)
+		return "internal server error"
+	}
+	return err.Error()
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+type registerTableRequest struct {
+	Name    string     `json:"name"`
+	Columns []string   `json:"columns,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	// CSV is an alternative payload: a full CSV document whose first
+	// record is the header.
+	CSV string `json:"csv,omitempty"`
+}
+
+func (s *server) handleRegisterTable(w http.ResponseWriter, r *http.Request) {
+	var req registerTableRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "missing table name")
+		return
+	}
+	var (
+		info nlexplain.TableInfo
+		err  error
+	)
+	if req.CSV != "" {
+		var t *nlexplain.Table
+		t, err = nlexplain.TableFromCSV(req.Name, strings.NewReader(req.CSV))
+		if err == nil {
+			info = s.engine.RegisterTable(t)
+		}
+	} else {
+		info, err = s.engine.RegisterRaw(req.Name, req.Columns, req.Rows)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "registering table: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *server) handleListTables(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tables": s.engine.Tables()})
+}
+
+type explainRequest struct {
+	Table string `json:"table"`
+	Query string `json:"query"`
+}
+
+type explainResponse struct {
+	*nlexplain.EngineExplanation
+	Cached bool `json:"cached"`
+}
+
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req explainRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	ex, cached, err := s.engine.ExplainCached(r.Context(), req.Table, req.Query)
+	if err != nil {
+		writeError(w, errStatus(err), "%s", errMessage(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, explainResponse{EngineExplanation: ex, Cached: cached})
+}
+
+type batchRequest struct {
+	Queries []explainRequest `json:"queries"`
+	// TimeoutMs bounds each query; 0 uses the engine default.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+type batchItem struct {
+	Explanation *nlexplain.EngineExplanation `json:"explanation,omitempty"`
+	Cached      bool                         `json:"cached"`
+	Error       string                       `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Results []batchItem `json:"results"`
+	Errors  int         `json:"errors"`
+}
+
+func (s *server) handleExplainBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	reqs := make([]nlexplain.ExplainRequest, len(req.Queries))
+	for i, q := range req.Queries {
+		reqs[i] = nlexplain.ExplainRequest{
+			Table:   q.Table,
+			Query:   q.Query,
+			Timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
+		}
+	}
+	results := s.engine.ExplainBatch(r.Context(), reqs)
+	resp := batchResponse{Results: make([]batchItem, len(results))}
+	for i, res := range results {
+		item := batchItem{Explanation: res.Explanation, Cached: res.Cached}
+		if res.Err != nil {
+			item.Error = errMessage(res.Err)
+			resp.Errors++
+		}
+		resp.Results[i] = item
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type parseRequest struct {
+	Table    string `json:"table"`
+	Question string `json:"question"`
+	TopK     int    `json:"top_k,omitempty"`
+}
+
+func (s *server) handleParse(w http.ResponseWriter, r *http.Request) {
+	var req parseRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	cands, err := s.engine.ParseQuestion(r.Context(), req.Table, req.Question, req.TopK)
+	if err != nil {
+		writeError(w, errStatus(err), "%s", errMessage(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"question": req.Question, "candidates": cands})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "tables": len(s.engine.Tables())})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+// demoTable registers the paper's Figure 1 olympics running example.
+func demoTable(e *nlexplain.Engine) error {
+	_, err := e.RegisterRaw("olympics",
+		[]string{"Year", "City", "Country", "Nations"},
+		[][]string{
+			{"1896", "Athens", "Greece", "14"},
+			{"1900", "Paris", "France", "24"},
+			{"1904", "St. Louis", "USA", "12"},
+			{"2004", "Athens", "Greece", "201"},
+			{"2008", "Beijing", "China", "204"},
+			{"2012", "London", "UK", "204"},
+		})
+	return err
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 0, "LRU cache entries per cache (0 = default)")
+	timeout := flag.Duration("timeout", 0, "per-query timeout (0 = default 10s)")
+	demo := flag.Bool("demo", false, "pre-register the olympics demo table")
+	flag.Parse()
+
+	e := nlexplain.NewEngine(nlexplain.EngineOptions{
+		Workers:      *workers,
+		CacheSize:    *cacheSize,
+		QueryTimeout: *timeout,
+	})
+	if *demo {
+		if err := demoTable(e); err != nil {
+			log.Fatalf("registering demo table: %v", err)
+		}
+	}
+	// Positional arguments are CSV files registered under their
+	// basename (data/olympics.csv -> table "olympics").
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatalf("opening %s: %v", path, err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		t, err := nlexplain.TableFromCSV(name, f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("reading %s: %v", path, err)
+		}
+		info := e.RegisterTable(t)
+		log.Printf("registered table %q (%d rows, version %s)", info.Name, info.Rows, info.Version)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newMux(e),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("wtq-server listening on %s (%d tables)", *addr, len(e.Tables()))
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}

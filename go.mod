@@ -1,0 +1,3 @@
+module nlexplain
+
+go 1.24

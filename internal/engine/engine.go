@@ -1,0 +1,610 @@
+// Package engine is the reusable explanation pipeline behind the
+// wtq-server service: it unifies parse → typecheck → execute →
+// provenance → highlight → utterance behind one Engine type with a
+// named-table registry, LRU caches for parsed ASTs and full explanation
+// results (keyed on table version + query string), a bounded worker
+// pool for concurrent batch execution with per-query timeouts, and
+// scrape-ready counters.
+//
+// The pipeline itself reproduces the deployment flow of Section 6.3 of
+// "Explaining Queries over Web Tables to Non-Experts" (ICDE 2019); the
+// engine adds the serving machinery that lets one process answer many
+// concurrent explanation requests over many registered tables.
+package engine
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"nlexplain/internal/dcs"
+	"nlexplain/internal/export"
+	"nlexplain/internal/provenance"
+	"nlexplain/internal/render"
+	"nlexplain/internal/semparse"
+	"nlexplain/internal/table"
+	"nlexplain/internal/utterance"
+)
+
+// Options configures an Engine. The zero value selects sensible
+// defaults for every field.
+type Options struct {
+	// CacheSize caps each LRU cache (ASTs, explanation results).
+	// Default 1024 entries.
+	CacheSize int
+	// Workers bounds the concurrent pipeline executions of batch
+	// requests. Default GOMAXPROCS.
+	Workers int
+	// QueryTimeout is the per-query deadline applied when a request
+	// carries none of its own; request-supplied timeouts are clamped
+	// to it, so it is the operator's hard per-query cap. Default 10s.
+	QueryTimeout time.Duration
+	// MaxPending bounds how many uncached pipeline computations may
+	// exist at once (running + queued for a worker slot); beyond it
+	// new work is shed with ErrOverloaded instead of parking
+	// goroutines without limit. Default 16x Workers.
+	MaxPending int
+	// SampleThreshold is the row count above which explanation grids
+	// switch to Section 5.3 record sampling. Default 40.
+	SampleThreshold int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheSize <= 0 {
+		o.CacheSize = 1024
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueryTimeout <= 0 {
+		o.QueryTimeout = 10 * time.Second
+	}
+	if o.MaxPending <= 0 {
+		o.MaxPending = 16 * o.Workers
+	}
+	if o.SampleThreshold <= 0 {
+		o.SampleThreshold = 40
+	}
+	return o
+}
+
+// ErrUnknownTable reports a request against a table name that is not
+// in the registry; match it with errors.Is.
+var ErrUnknownTable = errors.New("unknown table")
+
+// ErrInternal marks a server-side pipeline failure (a contained
+// panic), as opposed to a client mistake; match it with errors.Is to
+// map it to a 5xx status.
+var ErrInternal = errors.New("internal pipeline failure")
+
+// ErrOverloaded reports that the engine shed a request because
+// MaxPending uncached computations are already running or queued;
+// clients should back off and retry. Match it with errors.Is.
+var ErrOverloaded = errors.New("engine overloaded")
+
+// tableEntry is one registered table plus its content version and a
+// dedicated semantic parser. The parser is uncached: candidate pools
+// are memoized only in the engine's version-keyed LRU, so parse
+// results cannot outlive the table content they were computed from and
+// parser memory cannot grow with the number of distinct questions.
+type tableEntry struct {
+	t       *table.Table
+	version string
+	parser  *semparse.Parser
+}
+
+// Engine is the concurrent explanation pipeline. It is safe for
+// concurrent use; cached *Explanation values are shared between callers
+// and must be treated as immutable.
+type Engine struct {
+	opts Options
+
+	mu     sync.RWMutex
+	tables map[string]*tableEntry
+
+	asts       *lruCache // query string -> dcs.Expr
+	results    *lruCache // table version + query -> *Explanation
+	parseCache *lruCache // table version + question -> []*semparse.Candidate
+
+	// inflight deduplicates concurrent computations of the same cache
+	// key (singleflight): duplicate queries in one batch execute once.
+	inflightMu sync.Mutex
+	inflight   map[string]*inflightCall
+
+	sem   chan struct{} // worker pool: bounds running pipeline computations
+	admit chan struct{} // admission queue: bounds running + queued computations
+	ctr   counters
+}
+
+// New builds an Engine with the given options (zero value = defaults).
+func New(opts Options) *Engine {
+	opts = opts.withDefaults()
+	return &Engine{
+		opts:       opts,
+		tables:     make(map[string]*tableEntry),
+		asts:       newLRU(opts.CacheSize),
+		results:    newLRU(opts.CacheSize),
+		parseCache: newLRU(opts.CacheSize),
+		inflight:   make(map[string]*inflightCall),
+		sem:        make(chan struct{}, opts.Workers),
+		admit:      make(chan struct{}, opts.MaxPending),
+	}
+}
+
+// TableInfo describes one registered table.
+type TableInfo struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+	Rows    int    `json:"rows"`
+	Cols    int    `json:"cols"`
+}
+
+// tableVersion fingerprints a table's full content; explanation cache
+// keys embed it, so re-registering a changed table under the same name
+// invalidates every cached result without any explicit flush. Strings
+// are length-prefixed (not just delimited — cells may legally contain
+// any byte) and the shape is hashed explicitly, so neither shifted
+// cell boundaries nor reshaped identical text can collide.
+func tableVersion(t *table.Table) string {
+	h := fnv.New64a()
+	write := func(s string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	write(t.Name())
+	write(fmt.Sprintf("%dx%d", t.NumRows(), t.NumCols()))
+	for _, c := range t.Columns() {
+		write(c)
+	}
+	for r := 0; r < t.NumRows(); r++ {
+		for c := 0; c < t.NumCols(); c++ {
+			write(t.Raw(r, c))
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// RegisterTable adds (or replaces) a pre-built table under its own
+// name and returns its registry info.
+func (e *Engine) RegisterTable(t *table.Table) TableInfo {
+	entry := &tableEntry{t: t, version: tableVersion(t), parser: semparse.NewUncachedParser()}
+	e.mu.Lock()
+	e.tables[t.Name()] = entry
+	e.mu.Unlock()
+	return TableInfo{Name: t.Name(), Version: entry.version, Rows: t.NumRows(), Cols: t.NumCols()}
+}
+
+// RegisterRaw builds a table from a header and raw rows (cells are
+// typed automatically) and registers it.
+func (e *Engine) RegisterRaw(name string, columns []string, rows [][]string) (TableInfo, error) {
+	t, err := table.New(name, columns, rows)
+	if err != nil {
+		return TableInfo{}, err
+	}
+	return e.RegisterTable(t), nil
+}
+
+// Table returns a registered table and its version.
+func (e *Engine) Table(name string) (*table.Table, string, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	entry, ok := e.tables[name]
+	if !ok {
+		return nil, "", false
+	}
+	return entry.t, entry.version, true
+}
+
+// Tables lists the registry, in unspecified order.
+func (e *Engine) Tables() []TableInfo {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]TableInfo, 0, len(e.tables))
+	for name, entry := range e.tables {
+		out = append(out, TableInfo{Name: name, Version: entry.version, Rows: entry.t.NumRows(), Cols: entry.t.NumCols()})
+	}
+	return out
+}
+
+// ProvCell is one provenance cell reference on the wire.
+type ProvCell struct {
+	Row int `json:"row"`
+	Col int `json:"col"`
+}
+
+// ProvJSON is the multilevel provenance Prov(Q,T) = (PO, PE, PC) in
+// wire form, with cells sorted row-major per level.
+type ProvJSON struct {
+	Output      []ProvCell        `json:"output"`
+	Execution   []ProvCell        `json:"execution"`
+	Columns     []ProvCell        `json:"columns"`
+	Aggrs       []string          `json:"aggrs,omitempty"`
+	HeaderAggrs map[string]string `json:"header_aggrs,omitempty"` // column name -> fn
+}
+
+func provJSON(t *table.Table, p *provenance.Prov) ProvJSON {
+	conv := func(cells []table.CellRef) []ProvCell {
+		out := make([]ProvCell, len(cells))
+		for i, c := range cells {
+			out[i] = ProvCell{Row: c.Row, Col: c.Col}
+		}
+		return out
+	}
+	po, pe, pc := p.Levels()
+	j := ProvJSON{Output: conv(po), Execution: conv(pe), Columns: conv(pc)}
+	for _, fn := range p.Aggrs {
+		j.Aggrs = append(j.Aggrs, string(fn))
+	}
+	if len(p.HeaderAggrs) > 0 {
+		j.HeaderAggrs = make(map[string]string, len(p.HeaderAggrs))
+		for col, fn := range p.HeaderAggrs {
+			j.HeaderAggrs[t.Column(col)] = string(fn)
+		}
+	}
+	return j
+}
+
+// Explanation is the full pipeline output for one query on one
+// registered table, ready for JSON encoding. Cached instances are
+// shared across requests: treat as immutable.
+type Explanation struct {
+	Table      string      `json:"table"`
+	Version    string      `json:"version"`
+	Query      string      `json:"query"`
+	Utterance  string      `json:"utterance"`
+	SQL        string      `json:"sql,omitempty"` // empty outside the SQL fragment
+	Result     string      `json:"result"`
+	Grid       render.Grid `json:"grid"`
+	Provenance ProvJSON    `json:"provenance"`
+}
+
+// parseQuery resolves a query string through the AST cache.
+func (e *Engine) parseQuery(src string) (dcs.Expr, error) {
+	if v, ok := e.asts.get(src); ok {
+		e.ctr.astHits.Add(1)
+		return v.(dcs.Expr), nil
+	}
+	e.ctr.astMisses.Add(1)
+	q, err := dcs.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	e.asts.put(src, q)
+	return q, nil
+}
+
+// compute runs the uncached pipeline: parse through the AST cache,
+// then the shared export pipeline (typecheck+execute,
+// provenance+highlight, sample, utter, translate), then the engine's
+// extra provenance projection.
+func (e *Engine) compute(entry *tableEntry, tableName, query string) (*Explanation, error) {
+	start := time.Now()
+	q, err := e.parseQuery(query)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %q: %w", query, err)
+	}
+	doc, h, err := export.Build(q, entry.t, e.opts.SampleThreshold)
+	if err != nil {
+		return nil, fmt.Errorf("explaining %s on %s: %w", q, tableName, err)
+	}
+	ex := &Explanation{
+		Table:      tableName,
+		Version:    entry.version,
+		Query:      doc.Query,
+		Utterance:  doc.Utterance,
+		SQL:        doc.SQL,
+		Result:     doc.Result,
+		Grid:       doc.Table,
+		Provenance: provJSON(entry.t, h.Prov),
+	}
+	e.ctr.executions.Add(1)
+	e.ctr.latencyNanos.Add(uint64(time.Since(start)))
+	return ex, nil
+}
+
+// withDefaultDeadline bounds the caller's context by the engine's
+// QueryTimeout: contexts with no deadline get one, and contexts with a
+// deadline beyond the cap are clamped to it, making QueryTimeout the
+// hard per-query bound its documentation promises.
+func (e *Engine) withDefaultDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	hardCap := time.Now().Add(e.opts.QueryTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(hardCap) {
+		return ctx, func() {}
+	}
+	return context.WithDeadline(ctx, hardCap)
+}
+
+// countCtxErr books a context failure: only genuine deadline expiry
+// counts as a timeout; client cancellations are not pipeline signal.
+func (e *Engine) countCtxErr(err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		e.ctr.timeouts.Add(1)
+	}
+}
+
+// Explain runs the full pipeline for one query over a registered table,
+// honoring ctx for cancellation and deadlines.
+func (e *Engine) Explain(ctx context.Context, tableName, query string) (*Explanation, error) {
+	ex, _, err := e.explain(ctx, tableName, query)
+	return ex, err
+}
+
+// ExplainCached is Explain plus whether the result was served from the
+// explanation cache.
+func (e *Engine) ExplainCached(ctx context.Context, tableName, query string) (*Explanation, bool, error) {
+	return e.explain(ctx, tableName, query)
+}
+
+// explain is Explain plus a cache-hit indicator.
+func (e *Engine) explain(ctx context.Context, tableName, query string) (*Explanation, bool, error) {
+	e.mu.RLock()
+	entry, ok := e.tables[tableName]
+	e.mu.RUnlock()
+	if !ok {
+		e.ctr.errors.Add(1)
+		return nil, false, fmt.Errorf("%w: %q", ErrUnknownTable, tableName)
+	}
+	key := entry.version + "\x00" + query
+	if v, ok := e.results.get(key); ok {
+		e.ctr.resultHits.Add(1)
+		return v.(*Explanation), true, nil
+	}
+	e.ctr.resultMisses.Add(1)
+	ctx, cancel := e.withDefaultDeadline(ctx)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		e.countCtxErr(err)
+		return nil, false, err
+	}
+
+	// The dcs executor is not context-aware, so the pipeline runs in
+	// its own goroutine and the deadline is enforced here; an abandoned
+	// computation still completes and warms the cache for the retry.
+	// Concurrent requests for the same key join one in-flight
+	// computation rather than duplicating it.
+	call, leader := e.joinInflight(key)
+	if leader {
+		e.startPipeline(key, call,
+			func() (any, error) {
+				ex, err := e.compute(entry, tableName, query)
+				if err != nil {
+					return nil, err
+				}
+				return ex, nil
+			},
+			func(v any) { e.results.put(key, v) })
+	}
+	select {
+	case <-ctx.Done():
+		e.countCtxErr(ctx.Err())
+		return nil, false, ctx.Err()
+	case <-call.done:
+		if call.err != nil {
+			e.ctr.errors.Add(1)
+			return nil, false, call.err
+		}
+		return call.val.(*Explanation), false, nil
+	}
+}
+
+// inflightCall is one deduplicated computation; followers block on done.
+type inflightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// joinInflight returns the in-flight call for key, creating it (and
+// reporting leadership) when absent.
+func (e *Engine) joinInflight(key string) (*inflightCall, bool) {
+	e.inflightMu.Lock()
+	defer e.inflightMu.Unlock()
+	if call, ok := e.inflight[key]; ok {
+		return call, false
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	e.inflight[key] = call
+	return call, true
+}
+
+// finishInflight publishes a completed call's outcome and releases its
+// key for future computations.
+func (e *Engine) finishInflight(key string, call *inflightCall, val any, err error) {
+	call.val, call.err = val, err
+	e.inflightMu.Lock()
+	delete(e.inflight, key)
+	e.inflightMu.Unlock()
+	close(call.done)
+}
+
+// startPipeline launches a leader computation for an inflight call:
+// detached from any request context (so an abandoned computation still
+// completes and warms the cache), bounded by the admission queue (a
+// full queue sheds the call with ErrOverloaded instead of parking yet
+// another goroutine), and taking a worker-pool slot while it runs. A
+// panic in work is contained as ErrInternal; on success publish (if
+// non-nil) stores the value before waiters are released.
+func (e *Engine) startPipeline(key string, call *inflightCall, work func() (any, error), publish func(any)) {
+	select {
+	case e.admit <- struct{}{}:
+	default:
+		e.ctr.sheds.Add(1)
+		e.finishInflight(key, call, nil, ErrOverloaded)
+		return
+	}
+	go func() {
+		defer func() { <-e.admit }()
+		e.sem <- struct{}{}
+		var val any
+		var err error
+		defer func() {
+			<-e.sem
+			if r := recover(); r != nil {
+				err = fmt.Errorf("%w: pipeline panic: %v", ErrInternal, r)
+			}
+			if err == nil && publish != nil {
+				publish(val)
+			}
+			e.finishInflight(key, call, val, err)
+		}()
+		val, err = work()
+	}()
+}
+
+// Request is one query of a batch.
+type Request struct {
+	Table string `json:"table"`
+	Query string `json:"query"`
+	// Timeout overrides the engine's per-query deadline when positive;
+	// it is clamped to Options.QueryTimeout, the operator's hard cap.
+	Timeout time.Duration `json:"-"`
+}
+
+// BatchResult is the outcome of one batch request, in request order.
+type BatchResult struct {
+	Explanation *Explanation `json:"explanation,omitempty"`
+	Cached      bool         `json:"cached"`
+	Err         error        `json:"-"`
+}
+
+// ExplainBatch executes every request concurrently, each under its own
+// per-query deadline, and returns results in request order. At most
+// Workers goroutines run per batch (requests are fed to a fixed worker
+// loop, so a huge batch never spawns a goroutine per entry); the
+// actual pipeline computations additionally go through the engine-wide
+// worker pool and admission queue shared with all other traffic. A
+// canceled ctx fails every query that has not completed, including
+// those in flight.
+func (e *Engine) ExplainBatch(ctx context.Context, reqs []Request) []BatchResult {
+	e.ctr.batches.Add(1)
+	out := make([]BatchResult, len(reqs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	workers := e.opts.Workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = e.runBatchRequest(ctx, reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// runBatchRequest executes one batch entry under its per-query
+// deadline (the request's own, clamped to the engine cap). The
+// deadline starts immediately, so time a computation spends queued for
+// a worker slot counts against the query's budget; cache hits are
+// served by explain before any deadline check, so a warmed batch
+// succeeds even with a tiny budget.
+func (e *Engine) runBatchRequest(ctx context.Context, r Request) BatchResult {
+	timeout := r.Timeout
+	if timeout <= 0 || timeout > e.opts.QueryTimeout {
+		timeout = e.opts.QueryTimeout
+	}
+	qctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	ex, cached, err := e.explain(qctx, r.Table, r.Query)
+	return BatchResult{Explanation: ex, Cached: cached, Err: err}
+}
+
+// RankedCandidate is one semantic-parse candidate on the wire: a
+// ranked query with its utterance, model score and result preview.
+type RankedCandidate struct {
+	Rank      int     `json:"rank"`
+	Query     string  `json:"query"`
+	Utterance string  `json:"utterance"`
+	Score     float64 `json:"score"`
+	Result    string  `json:"result,omitempty"`
+}
+
+// ParseQuestion maps an NL question over a registered table to ranked
+// candidate queries via the log-linear semantic parser (Figure 2's
+// deployment flow). topK <= 0 uses the parser's default (7).
+func (e *Engine) ParseQuestion(ctx context.Context, tableName, question string, topK int) ([]RankedCandidate, error) {
+	e.mu.RLock()
+	entry, ok := e.tables[tableName]
+	e.mu.RUnlock()
+	if !ok {
+		e.ctr.errors.Add(1)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTable, tableName)
+	}
+	ctx, cancel := e.withDefaultDeadline(ctx)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		e.countCtxErr(err)
+		return nil, err
+	}
+	e.ctr.parses.Add(1)
+
+	// Candidate generation is the service's most expensive step; like
+	// explain, it runs detached so ctx deadlines hold, takes a slot in
+	// the engine-wide worker pool, is deduplicated so timeout+retry
+	// loops on a slow question join one generation instead of stacking
+	// new ones, and lands in a bounded LRU keyed by table version.
+	// ParseAll (not Parse) so a topK above the parser's display
+	// default is honored; the pools are read-only once published, safe
+	// to share across waiters.
+	key := "parse\x00" + entry.version + "\x00" + question
+	var cands []*semparse.Candidate
+	if v, ok := e.parseCache.get(key); ok {
+		e.ctr.parseHits.Add(1)
+		cands = v.([]*semparse.Candidate)
+	} else {
+		e.ctr.parseMisses.Add(1)
+		call, leader := e.joinInflight(key)
+		if leader {
+			e.startPipeline(key, call,
+				func() (any, error) { return entry.parser.ParseAll(question, entry.t), nil },
+				func(v any) { e.parseCache.put(key, v) })
+		}
+		select {
+		case <-ctx.Done():
+			e.countCtxErr(ctx.Err())
+			return nil, ctx.Err()
+		case <-call.done:
+			if call.err != nil {
+				e.ctr.errors.Add(1)
+				return nil, call.err
+			}
+			cands = call.val.([]*semparse.Candidate)
+		}
+	}
+	if topK <= 0 {
+		topK = entry.parser.TopK
+	}
+	if topK > 0 && len(cands) > topK {
+		cands = cands[:topK]
+	}
+	out := make([]RankedCandidate, len(cands))
+	for i, c := range cands {
+		rc := RankedCandidate{
+			Rank:      i + 1,
+			Query:     c.Query.String(),
+			Utterance: utterance.Utter(c.Query),
+			Score:     c.Score,
+		}
+		if c.Result != nil {
+			rc.Result = c.Result.String()
+		}
+		out[i] = rc
+	}
+	return out, nil
+}

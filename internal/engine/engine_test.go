@@ -1,0 +1,549 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nlexplain/internal/table"
+)
+
+// olympics is the Figure 1 running example table.
+func olympics(t *testing.T) *table.Table {
+	t.Helper()
+	tbl, err := table.New("olympics",
+		[]string{"Year", "City", "Country", "Nations"},
+		[][]string{
+			{"1896", "Athens", "Greece", "14"},
+			{"1900", "Paris", "France", "24"},
+			{"1904", "St. Louis", "USA", "12"},
+			{"2004", "Athens", "Greece", "201"},
+			{"2008", "Beijing", "China", "204"},
+			{"2012", "London", "UK", "204"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func newTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New(Options{CacheSize: 64, Workers: 4})
+	e.RegisterTable(olympics(t))
+	return e
+}
+
+func TestExplainPipeline(t *testing.T) {
+	e := newTestEngine(t)
+	ex, err := e.Explain(context.Background(), "olympics", "max(R[Year].Country.Greece)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Utterance == "" {
+		t.Error("empty utterance")
+	}
+	if ex.Result != "2004" {
+		t.Errorf("Result = %q, want 2004", ex.Result)
+	}
+	if len(ex.Provenance.Output) == 0 || len(ex.Provenance.Execution) == 0 || len(ex.Provenance.Columns) == 0 {
+		t.Errorf("provenance levels empty: %+v", ex.Provenance)
+	}
+	if got := ex.Provenance.HeaderAggrs["Year"]; got != "max" {
+		t.Errorf("HeaderAggrs[Year] = %q, want max", got)
+	}
+	if !strings.Contains(ex.Grid.Headers[0], "Year") {
+		t.Errorf("Grid headers = %v", ex.Grid.Headers)
+	}
+	marked := 0
+	for _, row := range ex.Grid.Cells {
+		for _, c := range row {
+			if c.Marking != "" {
+				marked++
+			}
+		}
+	}
+	if marked == 0 {
+		t.Error("no highlighted cells in grid")
+	}
+	if ex.SQL == "" {
+		t.Error("expected SQL translation for max query")
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	e := newTestEngine(t)
+	ctx := context.Background()
+	const q = "count(Country.Greece)"
+
+	if _, err := e.Explain(ctx, "olympics", q); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.ResultMisses != 1 || s.ResultHits != 0 {
+		t.Fatalf("after first explain: hits=%d misses=%d, want 0/1", s.ResultHits, s.ResultMisses)
+	}
+	if s.Executions != 1 {
+		t.Fatalf("Executions = %d, want 1", s.Executions)
+	}
+
+	ex1, err := e.Explain(ctx, "olympics", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = e.Stats()
+	if s.ResultHits != 1 {
+		t.Errorf("ResultHits = %d, want 1", s.ResultHits)
+	}
+	if s.Executions != 1 {
+		t.Errorf("Executions = %d, want 1 (cached result must not re-execute)", s.Executions)
+	}
+	ex2, _, _ := e.explain(ctx, "olympics", q)
+	if ex1 != ex2 {
+		t.Error("cache should return the shared explanation instance")
+	}
+}
+
+func TestASTCacheSharedAcrossTables(t *testing.T) {
+	e := newTestEngine(t)
+	second, err := table.New("olympics2",
+		[]string{"Year", "City", "Country", "Nations"},
+		[][]string{{"1896", "Athens", "Greece", "14"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RegisterTable(second)
+	ctx := context.Background()
+	const q = "min(R[Year].Country.Greece)"
+	if _, err := e.Explain(ctx, "olympics", q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Explain(ctx, "olympics2", q); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.ASTMisses != 1 || s.ASTHits != 1 {
+		t.Errorf("AST hits=%d misses=%d, want 1/1 (same query on two tables parses once)", s.ASTHits, s.ASTMisses)
+	}
+	if s.ResultMisses != 2 {
+		t.Errorf("ResultMisses = %d, want 2 (different table versions)", s.ResultMisses)
+	}
+}
+
+func TestReRegisterInvalidatesCache(t *testing.T) {
+	e := newTestEngine(t)
+	ctx := context.Background()
+	const q = "max(R[Year].Record)"
+	ex, err := e.Explain(ctx, "olympics", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Result != "2012" {
+		t.Fatalf("Result = %q, want 2012", ex.Result)
+	}
+
+	// Replace the table under the same name with new content: cached
+	// results must not leak across versions.
+	updated, err := table.New("olympics",
+		[]string{"Year", "City", "Country", "Nations"},
+		[][]string{{"2016", "Rio", "Brazil", "207"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := e.RegisterTable(updated)
+	if _, v, _ := e.Table("olympics"); v != info.Version {
+		t.Fatalf("registry version mismatch")
+	}
+	ex2, err := e.Explain(ctx, "olympics", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex2.Result != "2016" {
+		t.Errorf("Result after re-register = %q, want 2016", ex2.Result)
+	}
+	if ex2.Version == ex.Version {
+		t.Error("version unchanged after content change")
+	}
+}
+
+func TestVersionDistinguishesShape(t *testing.T) {
+	// Same name and same flat cell text in a different shape must not
+	// collide: a collision would serve one table's cached grid for
+	// the other.
+	wide, err := table.New("t", []string{"a", "b"}, [][]string{{"x", "y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tall, err := table.New("t", []string{"a"}, [][]string{{"b"}, {"x"}, {"y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tableVersion(wide) == tableVersion(tall) {
+		t.Errorf("versions collide for different shapes: %s", tableVersion(wide))
+	}
+
+	// Cells may contain any byte, including NUL: shifting a NUL across
+	// a cell boundary must still change the version.
+	a, err := table.New("t", []string{"c", "d"}, [][]string{{"a\x00", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := table.New("t", []string{"c", "d"}, [][]string{{"a", "\x00b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tableVersion(a) == tableVersion(b) {
+		t.Errorf("versions collide across shifted NUL boundary: %s", tableVersion(a))
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	e := newTestEngine(t)
+	ctx := context.Background()
+	if _, err := e.Explain(ctx, "nope", "max(R[Year].Record)"); err == nil {
+		t.Error("expected unknown-table error")
+	}
+	if _, err := e.Explain(ctx, "olympics", "max(((("); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := e.Explain(ctx, "olympics", "max(R[Year].NoSuchColumn.x)"); err == nil {
+		t.Error("expected typecheck/exec error")
+	}
+	if s := e.Stats(); s.Errors != 3 {
+		t.Errorf("Errors = %d, want 3", s.Errors)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	e := newTestEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.Explain(ctx, "olympics", "sum(R[Nations].Record)")
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if _, err := e.ParseQuestion(ctx, "olympics", "which year", 3); !errors.Is(err, context.Canceled) {
+		t.Errorf("ParseQuestion err = %v, want context.Canceled", err)
+	}
+	// Client cancellations are not deadline pressure: the timeout
+	// counter must stay clean for alerting.
+	if s := e.Stats(); s.Timeouts != 0 {
+		t.Errorf("Timeouts = %d after cancellations, want 0", s.Timeouts)
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := e.Explain(dctx, "olympics", "count(City.Athens)"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if s := e.Stats(); s.Timeouts != 1 {
+		t.Errorf("Timeouts = %d after deadline expiry, want 1", s.Timeouts)
+	}
+}
+
+func TestBatchTimeout(t *testing.T) {
+	e := newTestEngine(t)
+	// An already-expired deadline must fail the whole batch with
+	// deadline errors, not hang.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res := e.ExplainBatch(ctx, []Request{
+		{Table: "olympics", Query: "max(R[Year].Record)"},
+		{Table: "olympics", Query: "min(R[Year].Record)"},
+	})
+	for i, r := range res {
+		if !errors.Is(r.Err, context.DeadlineExceeded) && !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("result %d: err = %v, want deadline error", i, r.Err)
+		}
+	}
+}
+
+func TestLoadShedding(t *testing.T) {
+	e := New(Options{CacheSize: 16, Workers: 1, MaxPending: 1, QueryTimeout: 50 * time.Millisecond})
+	e.RegisterTable(olympics(t))
+
+	// Saturate the single worker slot so the first leader parks in
+	// the admission queue, filling it.
+	e.sem <- struct{}{}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := e.Explain(ctx, "olympics", "count(City.Athens)"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("parked query err = %v, want deadline exceeded", err)
+	}
+
+	// The admission queue (capacity 1) is now full: a second distinct
+	// query must be shed immediately, not parked.
+	if _, err := e.Explain(context.Background(), "olympics", "max(R[Year].Record)"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if s := e.Stats(); s.Sheds != 1 {
+		t.Errorf("Sheds = %d, want 1", s.Sheds)
+	}
+
+	// Freeing the worker slot lets the parked leader drain and release
+	// its admission token (asynchronously); the engine then recovers
+	// and serves new queries.
+	<-e.sem
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := e.Explain(context.Background(), "olympics", "count(Country.Greece)")
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("after recovery: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("engine did not recover from shedding state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestExplainDeadlineClampedToEngineCap(t *testing.T) {
+	// QueryTimeout is a hard cap: a caller context with a deadline far
+	// beyond it must still be bounded by the engine.
+	e := New(Options{CacheSize: 16, Workers: 2, QueryTimeout: time.Nanosecond})
+	e.RegisterTable(olympics(t))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	if _, err := e.Explain(ctx, "olympics", "count(City.Athens)"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded (caller deadline clamped)", err)
+	}
+}
+
+func TestBatchTimeoutClampedToEngineCap(t *testing.T) {
+	// A client-supplied per-query timeout must not exceed the
+	// operator's QueryTimeout: with the engine capped at 1ns, a
+	// request asking for a minute still times out immediately on a
+	// cold query.
+	e := New(Options{CacheSize: 16, Workers: 2, QueryTimeout: time.Nanosecond})
+	e.RegisterTable(olympics(t))
+	res := e.ExplainBatch(context.Background(), []Request{
+		{Table: "olympics", Query: "count(City.Athens)", Timeout: time.Minute},
+	})
+	if !errors.Is(res[0].Err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded (clamped)", res[0].Err)
+	}
+}
+
+func TestExplainBatchConcurrent(t *testing.T) {
+	e := newTestEngine(t)
+	queries := []string{
+		"max(R[Year].Country.Greece)",
+		"min(R[Year].Record)",
+		"count(Country.Greece)",
+		"sum(R[Nations].Record)",
+		"avg(R[Nations].Record)",
+		"max(R[Year].Record)",
+		"count(City.Athens)",
+		"min(R[Nations].Country.USA)",
+	}
+	reqs := make([]Request, 0, 2*len(queries))
+	for range 2 { // duplicates within one batch exercise cache + pool
+		for _, q := range queries {
+			reqs = append(reqs, Request{Table: "olympics", Query: q})
+		}
+	}
+	res := e.ExplainBatch(context.Background(), reqs)
+	if len(res) != len(reqs) {
+		t.Fatalf("got %d results, want %d", len(res), len(reqs))
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("request %d (%s): %v", i, reqs[i].Query, r.Err)
+		}
+		if r.Explanation == nil || r.Explanation.Utterance == "" {
+			t.Fatalf("request %d: empty explanation", i)
+		}
+		if r.Explanation.Query == "" {
+			t.Fatalf("request %d: empty query echo", i)
+		}
+	}
+	s := e.Stats()
+	if s.Executions > uint64(len(queries)) {
+		t.Errorf("Executions = %d, want <= %d (each unique query computes at most once... modulo racing duplicates)", s.Executions, len(queries))
+	}
+
+	// A second identical batch must be answered fully from cache.
+	before := e.Stats().Executions
+	res2 := e.ExplainBatch(context.Background(), reqs)
+	for i, r := range res2 {
+		if r.Err != nil {
+			t.Fatalf("repeat request %d: %v", i, r.Err)
+		}
+		if !r.Cached {
+			t.Errorf("repeat request %d not served from cache", i)
+		}
+	}
+	if after := e.Stats().Executions; after != before {
+		t.Errorf("repeat batch executed %d new queries, want 0", after-before)
+	}
+	if e.Stats().ResultHits == 0 {
+		t.Error("expected cache hits > 0 on repeated batch")
+	}
+}
+
+func TestConcurrentMixedLoad(t *testing.T) {
+	// Hammer one engine from many goroutines mixing registration,
+	// explains and NL parses; run under -race in CI.
+	e := newTestEngine(t)
+	var wg sync.WaitGroup
+	for i := range 8 {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for j := range 10 {
+				switch (i + j) % 3 {
+				case 0:
+					if _, err := e.Explain(ctx, "olympics", "max(R[Year].Record)"); err != nil {
+						t.Errorf("explain: %v", err)
+					}
+				case 1:
+					name := fmt.Sprintf("t%d", i)
+					if _, err := e.RegisterRaw(name, []string{"A"}, [][]string{{"1"}, {"2"}}); err != nil {
+						t.Errorf("register: %v", err)
+					}
+					if _, err := e.Explain(ctx, name, "count(A.1)"); err != nil {
+						t.Errorf("explain %s: %v", name, err)
+					}
+				default:
+					if _, err := e.ParseQuestion(ctx, "olympics", "which country had the most nations", 3); err != nil {
+						t.Errorf("parse: %v", err)
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestParseQuestion(t *testing.T) {
+	e := newTestEngine(t)
+	cands, err := e.ParseQuestion(context.Background(), "olympics", "in which year were the olympics held in Athens?", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	if len(cands) > 5 {
+		t.Fatalf("topK not applied: got %d", len(cands))
+	}
+	for i, c := range cands {
+		if c.Rank != i+1 {
+			t.Errorf("candidate %d rank = %d", i, c.Rank)
+		}
+		if c.Query == "" || c.Utterance == "" {
+			t.Errorf("candidate %d incomplete: %+v", i, c)
+		}
+	}
+	if s := e.Stats(); s.Parses != 1 {
+		t.Errorf("Parses = %d, want 1", s.Parses)
+	}
+}
+
+func TestParseQuestionTopKAboveParserDefault(t *testing.T) {
+	e := newTestEngine(t)
+	const question = "which country had the most nations"
+	small, err := e.ParseQuestion(context.Background(), "olympics", question, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := e.ParseQuestion(context.Background(), "olympics", question, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The default is the paper's display size (7); an explicit larger
+	// topK must reach deeper into the candidate pool.
+	if len(small) != 7 {
+		t.Errorf("default topK returned %d candidates, want 7", len(small))
+	}
+	if len(big) <= len(small) {
+		t.Errorf("topK=50 returned %d candidates, want more than the default %d", len(big), len(small))
+	}
+}
+
+func TestParseQuestionInvalidatedByReRegister(t *testing.T) {
+	e := newTestEngine(t)
+	ctx := context.Background()
+	const question = "in which year were the olympics held in Athens?"
+	before, err := e.ParseQuestion(ctx, "olympics", question, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) == 0 || !strings.Contains(before[0].Result, "1896") {
+		t.Fatalf("candidates before re-register = %+v", before)
+	}
+
+	// Same name, different content: memoized candidate pools from the
+	// old rows must not survive.
+	updated, err := table.New("olympics",
+		[]string{"Year", "City", "Country", "Nations"},
+		[][]string{{"2032", "Athens", "Greece", "210"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RegisterTable(updated)
+	after, err := e.ParseQuestion(ctx, "olympics", question, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) == 0 || !strings.Contains(after[0].Result, "2032") {
+		t.Errorf("candidates after re-register still reflect old rows: %+v", after)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	if _, ok := c.get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", 3)
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a should have survived")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c should be present")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+	c.put("c", 4) // overwrite keeps size
+	if v, _ := c.get("c"); v != 4 {
+		t.Errorf("c = %v, want 4", v)
+	}
+	if c.len() != 2 {
+		t.Errorf("len after overwrite = %d, want 2", c.len())
+	}
+}
+
+func TestEngineExplainResultCacheEviction(t *testing.T) {
+	e := New(Options{CacheSize: 2, Workers: 2})
+	e.RegisterTable(olympics(t))
+	ctx := context.Background()
+	for _, q := range []string{"max(R[Year].Record)", "min(R[Year].Record)", "sum(R[Nations].Record)"} {
+		if _, err := e.Explain(ctx, "olympics", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// max(Year) was evicted by the third insert: re-explaining must
+	// miss and recompute.
+	before := e.Stats().Executions
+	if _, err := e.Explain(ctx, "olympics", "max(R[Year].Record)"); err != nil {
+		t.Fatal(err)
+	}
+	if after := e.Stats().Executions; after != before+1 {
+		t.Errorf("evicted query did not recompute: executions %d -> %d", before, after)
+	}
+}

@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a synchronized fixed-capacity LRU map. Values are stored
+// as any; callers own the type discipline per cache instance.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached value and refreshes its recency.
+func (c *lruCache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put inserts or refreshes a value, evicting the least recently used
+// entry when over capacity.
+func (c *lruCache) put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.items, back.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the current number of entries.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,77 @@
+package engine
+
+import "sync/atomic"
+
+// counters holds the engine's hot-path metrics. All fields are updated
+// with atomic operations; Stats() takes a consistent-enough snapshot
+// for scraping (counters may be mid-batch, which is fine for gauges).
+type counters struct {
+	astHits      atomic.Uint64
+	astMisses    atomic.Uint64
+	resultHits   atomic.Uint64
+	resultMisses atomic.Uint64
+	parseHits    atomic.Uint64
+	parseMisses  atomic.Uint64
+	executions   atomic.Uint64
+	errors       atomic.Uint64
+	timeouts     atomic.Uint64
+	sheds        atomic.Uint64
+	batches      atomic.Uint64
+	parses       atomic.Uint64
+	latencyNanos atomic.Uint64 // cumulative pipeline compute time
+}
+
+// Stats is a JSON-ready snapshot of the engine's counters, served by
+// wtq-server's GET /v1/stats for scraping.
+type Stats struct {
+	Tables         int     `json:"tables"`
+	ASTCacheSize   int     `json:"ast_cache_size"`
+	ResultCache    int     `json:"result_cache_size"`
+	ParseCacheSize int     `json:"parse_cache_size"`
+	ASTHits        uint64  `json:"ast_hits"`
+	ASTMisses      uint64  `json:"ast_misses"`
+	ResultHits     uint64  `json:"result_hits"`
+	ResultMisses   uint64  `json:"result_misses"`
+	ParseHits      uint64  `json:"parse_hits"`
+	ParseMisses    uint64  `json:"parse_misses"`
+	Executions     uint64  `json:"executions"`
+	Errors         uint64  `json:"errors"`
+	Timeouts       uint64  `json:"timeouts"`
+	Sheds          uint64  `json:"sheds"`
+	Batches        uint64  `json:"batches"`
+	Parses         uint64  `json:"parses"`
+	AvgLatencyMs   float64 `json:"avg_latency_ms"`
+	TotalLatencyS  float64 `json:"total_latency_s"`
+}
+
+// Stats snapshots the engine's counters and cache sizes.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	tables := len(e.tables)
+	e.mu.RUnlock()
+	execs := e.ctr.executions.Load()
+	nanos := e.ctr.latencyNanos.Load()
+	s := Stats{
+		Tables:         tables,
+		ASTCacheSize:   e.asts.len(),
+		ResultCache:    e.results.len(),
+		ParseCacheSize: e.parseCache.len(),
+		ASTHits:        e.ctr.astHits.Load(),
+		ASTMisses:      e.ctr.astMisses.Load(),
+		ResultHits:     e.ctr.resultHits.Load(),
+		ResultMisses:   e.ctr.resultMisses.Load(),
+		ParseHits:      e.ctr.parseHits.Load(),
+		ParseMisses:    e.ctr.parseMisses.Load(),
+		Executions:     execs,
+		Errors:         e.ctr.errors.Load(),
+		Timeouts:       e.ctr.timeouts.Load(),
+		Sheds:          e.ctr.sheds.Load(),
+		Batches:        e.ctr.batches.Load(),
+		Parses:         e.ctr.parses.Load(),
+		TotalLatencyS:  float64(nanos) / 1e9,
+	}
+	if execs > 0 {
+		s.AvgLatencyMs = float64(nanos) / float64(execs) / 1e6
+	}
+	return s
+}

@@ -9,27 +9,19 @@ import (
 
 	"nlexplain/internal/dcs"
 	"nlexplain/internal/provenance"
+	"nlexplain/internal/render"
 	"nlexplain/internal/sqlgen"
 	"nlexplain/internal/table"
 	"nlexplain/internal/utterance"
 )
 
 // CellJSON is one rendered cell with its provenance marking.
-type CellJSON struct {
-	Text    string `json:"text"`
-	Marking string `json:"marking,omitempty"` // colored | framed | lit
-}
+type CellJSON = render.Cell
 
 // TableJSON is a highlighted table: headers (with aggregate markers
 // applied) and marked cells, restricted to the sampled rows for large
-// tables.
-type TableJSON struct {
-	Name    string       `json:"name"`
-	Headers []string     `json:"headers"`
-	Rows    []int        `json:"rows"` // source record indices
-	Cells   [][]CellJSON `json:"cells"`
-	Sampled bool         `json:"sampled"`
-}
+// tables. It is the render package's JSON-friendly Grid.
+type TableJSON = render.Grid
 
 // ExplanationJSON is the full explanation of one candidate query.
 type ExplanationJSON struct {
@@ -44,19 +36,27 @@ type ExplanationJSON struct {
 // sampling.
 const maxInlineRows = 40
 
-// Explanation builds the JSON document for a query over a table.
-func Explanation(q dcs.Expr, t *table.Table) (*ExplanationJSON, error) {
+// Build computes the explanation document for a query over a table and
+// also returns the highlights it derived, so callers (the engine, the
+// server wire format) can project extra views such as the raw
+// provenance sets without re-running the pipeline. threshold is the
+// row budget before Section 5.3 sampling kicks in; <= 0 selects the
+// default (40).
+func Build(q dcs.Expr, t *table.Table, threshold int) (*ExplanationJSON, *provenance.Highlights, error) {
+	if threshold <= 0 {
+		threshold = maxInlineRows
+	}
 	res, err := dcs.Execute(q, t)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	h, err := provenance.Highlight(q, t)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	rows := t.Records()
+	var rows []int
 	sampled := false
-	if t.NumRows() > maxInlineRows {
+	if t.NumRows() > threshold {
 		rows = provenance.Sample(q, t, h)
 		sampled = true
 	}
@@ -65,34 +65,18 @@ func Explanation(q dcs.Expr, t *table.Table) (*ExplanationJSON, error) {
 		Query:     q.String(),
 		Utterance: utterance.Utter(q),
 		Result:    res.String(),
-		Table: TableJSON{
-			Name:    t.Name(),
-			Rows:    rows,
-			Sampled: sampled,
-		},
+		Table:     render.JSONGrid(t, h, rows, sampled),
 	}
 	if sql, err := sqlgen.TranslateSQL(q); err == nil {
 		doc.SQL = sql
 	}
-	for c := 0; c < t.NumCols(); c++ {
-		name := t.Column(c)
-		if fn, ok := h.HeaderAggr(c); ok {
-			name = string(fn) + "(" + name + ")"
-		}
-		doc.Table.Headers = append(doc.Table.Headers, name)
-	}
-	for _, r := range rows {
-		line := make([]CellJSON, t.NumCols())
-		for c := 0; c < t.NumCols(); c++ {
-			cell := CellJSON{Text: t.Raw(r, c)}
-			if m := h.MarkingAt(r, c); m != provenance.None {
-				cell.Marking = m.String()
-			}
-			line[c] = cell
-		}
-		doc.Table.Cells = append(doc.Table.Cells, line)
-	}
-	return doc, nil
+	return doc, h, nil
+}
+
+// Explanation builds the JSON document for a query over a table.
+func Explanation(q dcs.Expr, t *table.Table) (*ExplanationJSON, error) {
+	doc, _, err := Build(q, t, 0)
+	return doc, err
 }
 
 // Marshal renders the explanation as indented JSON.

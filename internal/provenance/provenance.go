@@ -135,3 +135,10 @@ func (p *Prov) ExecutionRows() []int { return p.Execution.Rows() }
 
 // ColumnRows returns the sorted records touched by PC.
 func (p *Prov) ColumnRows() []int { return p.Columns.Rows() }
+
+// Levels returns the three provenance sets as row-major sorted cell
+// lists (PO, PE, PC) — the deterministic form serializers and the
+// wtq-server wire format use.
+func (p *Prov) Levels() (po, pe, pc []table.CellRef) {
+	return p.Output.Sorted(), p.Execution.Sorted(), p.Columns.Sorted()
+}

@@ -221,6 +221,61 @@ func HTML(t *table.Table, h *provenance.Highlights, rows []int) string {
 	return b.String()
 }
 
+// Cell is one rendered cell in a JSON-friendly grid: the raw text plus
+// its provenance marking name ("colored" | "framed" | "lit", empty when
+// unmarked).
+type Cell struct {
+	Text    string `json:"text"`
+	Marking string `json:"marking,omitempty"`
+}
+
+// Grid is a highlighted table in JSON-friendly form — the wire format
+// shared by the export package and the wtq-server HTTP service. Headers
+// carry aggregate markers (e.g. "max(Year)") exactly as Algorithm 1
+// places them; Rows holds the source record index of each cell row so
+// front-ends can show original positions for sampled tables.
+type Grid struct {
+	Name    string   `json:"name"`
+	Headers []string `json:"headers"`
+	Rows    []int    `json:"rows"`
+	Cells   [][]Cell `json:"cells"`
+	Sampled bool     `json:"sampled"`
+}
+
+// JSONGrid builds the Grid for the given records of t under highlights
+// h. rows selects which records to include (nil = all); sampled flags
+// that rows is a Section 5.3 sample rather than the full table.
+func JSONGrid(t *table.Table, h *provenance.Highlights, rows []int, sampled bool) Grid {
+	if rows == nil {
+		rows = t.Records()
+	}
+	g := Grid{
+		Name:    t.Name(),
+		Headers: make([]string, t.NumCols()),
+		Rows:    rows,
+		Sampled: sampled,
+	}
+	for c := 0; c < t.NumCols(); c++ {
+		name := t.Column(c)
+		if fn, ok := h.HeaderAggr(c); ok {
+			name = string(fn) + "(" + name + ")"
+		}
+		g.Headers[c] = name
+	}
+	for _, r := range rows {
+		line := make([]Cell, t.NumCols())
+		for c := 0; c < t.NumCols(); c++ {
+			cell := Cell{Text: t.Raw(r, c)}
+			if m := h.MarkingAt(r, c); m != provenance.None {
+				cell.Marking = m.String()
+			}
+			line[c] = cell
+		}
+		g.Cells = append(g.Cells, line)
+	}
+	return g
+}
+
 // CSS returns a stylesheet for the HTML rendering, matching the paper's
 // visual language: colored cells filled, framed cells outlined, lit
 // cells tinted.

@@ -3,6 +3,7 @@ package semparse
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"nlexplain/internal/dcs"
 	"nlexplain/internal/table"
@@ -25,6 +26,12 @@ func entityLiterals(z dcs.Expr) []table.Value {
 
 // Parser is the log-linear semantic parser of Eq. 4:
 // pθ(z|x,T) ∝ exp(φ(x,T,z)·θ).
+//
+// Parse and ParseAll are safe for concurrent use (the candidate cache
+// is synchronized and scored candidates are per-call copies), provided
+// no goroutine concurrently mutates the parser: Train updates Weights,
+// and ShareCandidateCache swaps the cache pointer — both are
+// setup/training-time operations that must not overlap parsing.
 type Parser struct {
 	// Weights is the parameter vector θ, sparse over feature names.
 	Weights map[string]float64
@@ -36,7 +43,36 @@ type Parser struct {
 	// candCache memoizes candidate generation per (table, question):
 	// candidates and their features do not depend on θ, only scores do,
 	// so epochs of training and repeated simulation reuse them.
-	candCache map[string][]*Candidate
+	candCache *candCache
+}
+
+// candCache is a synchronized candidate-pool memo, shareable between
+// parser variants (candidates are θ-independent).
+type candCache struct {
+	mu sync.Mutex
+	m  map[string][]*Candidate
+}
+
+func (c *candCache) get(key string) ([]*Candidate, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cands, ok := c.m[key]
+	return cands, ok
+}
+
+// putIfAbsent stores cands under key unless another goroutine won the
+// generation race, and returns the pool that ends up cached.
+func (c *candCache) putIfAbsent(key string, cands []*Candidate) []*Candidate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.m[key]; ok {
+		return prev
+	}
+	if c.m == nil {
+		c.m = make(map[string][]*Candidate)
+	}
+	c.m[key] = cands
+	return cands
 }
 
 func (p *Parser) cacheKey(question string, t *table.Table) string {
@@ -46,27 +82,34 @@ func (p *Parser) cacheKey(question string, t *table.Table) string {
 // ShareCandidateCache makes p reuse another parser's memoized candidate
 // pools. Candidates are θ-independent, so sharing is safe; it saves the
 // regeneration cost when many parser variants are trained on the same
-// examples (the Table 9 experiment).
+// examples (the Table 9 experiment). Setup-time only — it installs a
+// cache on an uncached donor and swaps p's cache pointer without
+// synchronization, so call it before any concurrent parsing starts.
 func (p *Parser) ShareCandidateCache(o *Parser) {
 	if o.candCache == nil {
-		o.candCache = make(map[string][]*Candidate)
+		o.candCache = &candCache{m: make(map[string][]*Candidate)}
 	}
 	p.candCache = o.candCache
 }
 
 // candidates fetches or generates the unscored candidate pool.
+// Generation runs outside the cache lock; when two goroutines race on
+// the same key, one pool wins and both use it. A parser built by hand
+// rather than NewParser has no cache: it regenerates every call
+// (lazily installing one here would be an unsynchronized write,
+// breaking the type's concurrency guarantee).
 func (p *Parser) candidates(question string, t *table.Table) []*Candidate {
+	if p.candCache == nil {
+		q := Analyze(question, t)
+		return GenerateCandidates(q, t)
+	}
 	key := p.cacheKey(question, t)
-	if cached, ok := p.candCache[key]; ok {
+	if cached, ok := p.candCache.get(key); ok {
 		return cached
 	}
 	q := Analyze(question, t)
 	cands := GenerateCandidates(q, t)
-	if p.candCache == nil {
-		p.candCache = make(map[string][]*Candidate)
-	}
-	p.candCache[key] = cands
-	return cands
+	return p.candCache.putIfAbsent(key, cands)
 }
 
 // NewParser returns a parser with heuristic initial weights: enough
@@ -83,15 +126,26 @@ func NewParser() *Parser {
 			"recordsResult":      -1.0,
 			"size":               -0.05,
 		},
-		TopK:  7,
-		sumSq: make(map[string]float64),
+		TopK:      7,
+		sumSq:     make(map[string]float64),
+		candCache: &candCache{m: make(map[string][]*Candidate)},
 	}
+}
+
+// NewUncachedParser is NewParser without candidate memoization: every
+// Parse regenerates the pool. Callers that manage their own bounded
+// caching (the explanation engine) use it so parser memory cannot grow
+// with the number of distinct questions served.
+func NewUncachedParser() *Parser {
+	p := NewParser()
+	p.candCache = nil
+	return p
 }
 
 // Clone deep-copies the parser's parameters (weights and AdaGrad
 // accumulator). The candidate cache is shared deliberately: candidates
 // do not depend on θ, and sharing lets experiment variants reuse
-// generation work. Parsers are not safe for concurrent use.
+// generation work.
 func (p *Parser) Clone() *Parser {
 	q := &Parser{Weights: make(map[string]float64, len(p.Weights)), TopK: p.TopK, sumSq: make(map[string]float64, len(p.sumSq)), candCache: p.candCache}
 	for k, v := range p.Weights {
@@ -133,12 +187,15 @@ func (p *Parser) Parse(question string, t *table.Table) []*Candidate {
 
 // ParseAll is Parse without the top-K truncation, for training (the
 // distributions of Eq. 5/7 range over the full candidate set Zx).
+// The returned candidates are per-call copies: scoring never mutates
+// the shared memoized pool, so concurrent ParseAll calls do not race.
 func (p *Parser) ParseAll(question string, t *table.Table) []*Candidate {
 	pool := p.candidates(question, t)
 	cands := make([]*Candidate, len(pool))
-	copy(cands, pool)
-	for _, c := range cands {
-		c.Score = p.score(c.Features)
+	for i, c := range pool {
+		cp := *c
+		cp.Score = p.score(c.Features)
+		cands[i] = &cp
 	}
 	sortCandidates(cands)
 	return cands

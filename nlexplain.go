@@ -25,6 +25,28 @@
 //	ex, _ := nlexplain.Explain(q, t)
 //	fmt.Println(ex.Utterance) // "maximum of values in column Year in rows where ..."
 //	fmt.Println(ex.Text())    // the highlighted table
+//
+// # Serving explanations at scale
+//
+// For serving many concurrent requests, the package re-exports the
+// explanation pipeline engine (package internal/engine): a table
+// registry for named, pre-loaded tables, LRU caches for parsed ASTs
+// and full explanation results keyed on (table version, query), an
+// in-flight deduplicator, a bounded worker pool for batches with
+// per-query context deadlines, and scrape-ready counters:
+//
+//	eng := nlexplain.NewEngine(nlexplain.EngineOptions{Workers: 8})
+//	eng.RegisterTable(t)
+//	out, err := eng.Explain(ctx, "olympics", "max(R[Year].Country.Greece)")
+//	results := eng.ExplainBatch(ctx, []nlexplain.ExplainRequest{...})
+//	stats := eng.Stats() // hits, misses, executions, latency
+//
+// cmd/wtq-server wraps the engine in an HTTP/JSON service with
+// endpoints POST /v1/tables, /v1/explain, /v1/explain/batch, /v1/parse
+// and GET /v1/healthz, /v1/stats; see examples/server for a curl
+// transcript. Build and run everything through the Makefile: `make
+// build test vet fmt bench serve`, mirrored one-to-one by the GitHub
+// Actions workflow in .github/workflows/ci.yml.
 package nlexplain
 
 import (
@@ -32,6 +54,7 @@ import (
 	"io"
 
 	"nlexplain/internal/dcs"
+	"nlexplain/internal/engine"
 	"nlexplain/internal/export"
 	"nlexplain/internal/provenance"
 	"nlexplain/internal/render"
@@ -140,6 +163,45 @@ func SampleRows(q Query, t *Table, h *Highlights) []int {
 // NewParser returns the baseline semantic parser with heuristic
 // initial weights; train it with (*Parser).Train.
 func NewParser() *Parser { return semparse.NewParser() }
+
+// Engine types, re-exported from the internal pipeline engine so
+// services embed the same machinery wtq-server runs on.
+type (
+	// Engine is the concurrent explanation pipeline: table registry,
+	// AST/result LRU caches, bounded worker pool and counters.
+	Engine = engine.Engine
+	// EngineOptions configures NewEngine; the zero value picks
+	// defaults (GOMAXPROCS workers, 1024-entry caches, 10s timeout).
+	EngineOptions = engine.Options
+	// EngineStats is a scrape-ready snapshot of engine counters.
+	EngineStats = engine.Stats
+	// EngineExplanation is the engine's JSON-ready pipeline output.
+	EngineExplanation = engine.Explanation
+	// ExplainRequest is one query of an ExplainBatch call.
+	ExplainRequest = engine.Request
+	// ExplainBatchResult is one in-order outcome of ExplainBatch.
+	ExplainBatchResult = engine.BatchResult
+	// TableInfo describes a table registered with an Engine.
+	TableInfo = engine.TableInfo
+	// RankedCandidate is one semantic-parse candidate on the wire.
+	RankedCandidate = engine.RankedCandidate
+)
+
+// NewEngine builds a concurrent explanation engine (zero Options =
+// defaults).
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// ErrUnknownTable reports an engine request against an unregistered
+// table name; match it with errors.Is.
+var ErrUnknownTable = engine.ErrUnknownTable
+
+// ErrInternal marks a server-side engine pipeline failure (a contained
+// panic); match it with errors.Is.
+var ErrInternal = engine.ErrInternal
+
+// ErrOverloaded reports that the engine shed a request because its
+// admission queue is full; match it with errors.Is.
+var ErrOverloaded = engine.ErrOverloaded
 
 // Explanation is the complete explanation bundle of one query on one
 // table: what the deployment interface shows a non-expert next to each
