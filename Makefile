@@ -24,9 +24,12 @@ fmt:
 	fi
 
 # bench smoke-runs every benchmark once; -benchtime=1x keeps it cheap
-# enough for CI while still executing each pipeline end to end.
+# enough for CI while still executing each pipeline end to end. The
+# output lands in bench.out so CI can upload it as an artifact and the
+# perf trajectory (plan vs interpreted execution) stays recorded.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	@$(GO) test -run='^$$' -bench=. -benchtime=1x ./... > bench.out 2>&1 || { cat bench.out; exit 1; }
+	@cat bench.out
 
 serve:
 	$(GO) run ./cmd/wtq-server -demo

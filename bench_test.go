@@ -13,9 +13,11 @@ import (
 
 	"nlexplain/internal/dcs"
 	"nlexplain/internal/experiments"
+	"nlexplain/internal/minisql"
 	"nlexplain/internal/provenance"
 	"nlexplain/internal/semparse"
 	"nlexplain/internal/study"
+	"nlexplain/internal/table"
 	"nlexplain/internal/utterance"
 	"nlexplain/internal/wikitables"
 )
@@ -299,6 +301,85 @@ func BenchmarkAblationDatasetHardness(b *testing.B) {
 			b.ReportMetric(100*bound, "bound_%")
 		})
 	}
+}
+
+// planBenchCases are the superlative/comparative/join shapes the plan
+// refactor targets, run over the 20k-row Figure 7 growth table so
+// index and vectorization effects are visible above noise.
+var planBenchCases = []struct{ name, query string }{
+	{"superlative", "argmax(Record, Year)"},
+	{"superlative-min", `argmin(Record, "Growth Rate")`},
+	{"comparative", `"Growth Rate">2`},
+	{"comparative-count", `count(Year>=2000)`},
+	{"join-aggregate", "max(R[Year].Country.Madagascar)"},
+}
+
+var (
+	planBenchTableOnce sync.Once
+	planBenchTable     *table.Table
+)
+
+func sharedPlanBenchTable() *table.Table {
+	planBenchTableOnce.Do(func() { planBenchTable = experiments.FigureTable(7) })
+	return planBenchTable
+}
+
+// BenchmarkPlanExec times the plan path (compile + vectorized
+// answer-only execution) on the superlative/comparative workload;
+// compare against BenchmarkInterpExec for the interpreted baseline.
+func BenchmarkPlanExec(b *testing.B) {
+	tab := sharedPlanBenchTable()
+	for _, c := range planBenchCases {
+		q := dcs.MustParse(c.query)
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dcs.ExecuteAnswer(q, tab); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInterpExec times the legacy tree-walking interpreter on the
+// same workload as BenchmarkPlanExec.
+func BenchmarkInterpExec(b *testing.B) {
+	tab := sharedPlanBenchTable()
+	for _, c := range planBenchCases {
+		q := dcs.MustParse(c.query)
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dcs.ExecuteInterpreted(q, tab); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlanExecSQL times mini-SQL execution through the plan core
+// (with predicate pushdown) against the interpreted evaluator.
+func BenchmarkPlanExecSQL(b *testing.B) {
+	tab := sharedPlanBenchTable()
+	const src = `SELECT Country FROM T WHERE "Growth Rate" > 2 AND Year >= 2000`
+	q, err := minisql.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("planned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := minisql.Exec(q, tab); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("interpreted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := minisql.ExecInterpreted(q, tab); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkCoreExecute times raw lambda DCS execution of the running

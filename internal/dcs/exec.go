@@ -3,7 +3,10 @@ package dcs
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
+	"nlexplain/internal/plan"
 	"nlexplain/internal/table"
 )
 
@@ -46,23 +49,25 @@ func (r *Result) AnswerKey() string {
 	var parts []string
 	switch r.Type {
 	case RecordsType:
+		parts = make([]string, 0, len(r.Records))
 		for _, rec := range r.Records {
-			parts = append(parts, fmt.Sprintf("#%d", rec))
+			parts = append(parts, "#"+strconv.Itoa(rec))
 		}
 	default:
+		parts = make([]string, 0, len(r.Values))
 		for _, v := range r.Values {
 			parts = append(parts, v.Key())
 		}
 	}
 	sort.Strings(parts)
-	key := ""
+	var b strings.Builder
 	for i, p := range parts {
 		if i > 0 {
-			key += "|"
+			b.WriteByte('|')
 		}
-		key += p
+		b.WriteString(p)
 	}
-	return key
+	return b.String()
 }
 
 // String renders the denotation compactly.
@@ -76,14 +81,16 @@ func (r *Result) String() string {
 		}
 		return r.Values[0].String()
 	default:
-		s := "{"
+		var b strings.Builder
+		b.WriteByte('{')
 		for i, v := range r.Values {
 			if i > 0 {
-				s += ", "
+				b.WriteString(", ")
 			}
-			s += v.String()
+			b.WriteString(v.String())
 		}
-		return s + "}"
+		b.WriteByte('}')
+		return b.String()
 	}
 }
 
@@ -102,9 +109,37 @@ func execErr(e Expr, format string, args ...any) error {
 	return &ExecError{Expr: e, Msg: fmt.Sprintf(format, args...)}
 }
 
-// Execute evaluates a checked expression against a table. The expression
-// is re-checked first, so Execute is safe to call on untrusted input.
+// Execute evaluates a checked expression against a table by compiling
+// it into the shared relational plan IR (internal/plan) and running
+// the vectorized executor with witness-cell capture on, so the Result
+// carries the PO cells the provenance model needs. The expression is
+// re-checked first, so Execute is safe to call on untrusted input.
 func Execute(e Expr, t *table.Table) (*Result, error) {
+	c, err := Compile(e, t)
+	if err != nil {
+		return nil, err
+	}
+	return c.ExecuteWith(t, plan.Capture{})
+}
+
+// ExecuteAnswer is the answer-only fast path: the compiled plan runs
+// under an inactive tracer, skipping every witness-cell computation.
+// The Result's denotation (Records/Values/AnswerKey) is identical to
+// Execute's but Cells is always nil. Use it where only the answer
+// matters — candidate generation, gold-answer comparison (Eq. 5) and
+// batch serving.
+func ExecuteAnswer(e Expr, t *table.Table) (*Result, error) {
+	c, err := Compile(e, t)
+	if err != nil {
+		return nil, err
+	}
+	return c.ExecuteWith(t, plan.Noop{})
+}
+
+// ExecuteInterpreted evaluates the expression with the legacy
+// tree-walking interpreter, retained as the reference semantics for
+// differential tests and benchmarks against the plan path.
+func ExecuteInterpreted(e Expr, t *table.Table) (*Result, error) {
 	if err := Check(e, t); err != nil {
 		return nil, err
 	}
@@ -118,32 +153,6 @@ func sortedRecords(set map[int]bool) []int {
 	}
 	sort.Ints(out)
 	return out
-}
-
-// dedupValues keeps the first occurrence of each distinct value,
-// preserving order — lambda DCS unaries are sets.
-func dedupValues(vals []table.Value) []table.Value {
-	seen := make(map[string]bool, len(vals))
-	out := vals[:0:0]
-	for _, v := range vals {
-		if k := v.Key(); !seen[k] {
-			seen[k] = true
-			out = append(out, v)
-		}
-	}
-	return out
-}
-
-func dedupCells(cells []table.CellRef) []table.CellRef {
-	seen := make(map[table.CellRef]bool, len(cells))
-	out := cells[:0:0]
-	for _, c := range cells {
-		if !seen[c] {
-			seen[c] = true
-			out = append(out, c)
-		}
-	}
-	return table.SortCells(out)
 }
 
 func exec(e Expr, t *table.Table) (*Result, error) {
@@ -210,7 +219,7 @@ func execJoin(x *Join, t *table.Table) (*Result, error) {
 			cells = append(cells, table.CellRef{Row: r, Col: col})
 		}
 	}
-	return &Result{Type: RecordsType, Records: sortedRecords(recs), Cells: dedupCells(cells)}, nil
+	return &Result{Type: RecordsType, Records: sortedRecords(recs), Cells: table.DedupCells(cells)}, nil
 }
 
 func execColumnValues(x *ColumnValues, t *table.Table) (*Result, error) {
@@ -225,7 +234,7 @@ func execColumnValues(x *ColumnValues, t *table.Table) (*Result, error) {
 		vals = append(vals, t.Value(r, col))
 		cells = append(cells, table.CellRef{Row: r, Col: col})
 	}
-	return &Result{Type: ValuesType, Values: dedupValues(vals), Cells: dedupCells(cells)}, nil
+	return &Result{Type: ValuesType, Values: table.DedupValues(vals), Cells: table.DedupCells(cells)}, nil
 }
 
 func execShift(arg Expr, t *table.Table, delta int) (*Result, error) {
@@ -271,7 +280,7 @@ func execIntersect(x *Intersect, t *table.Table) (*Result, error) {
 			cells = append(cells, c)
 		}
 	}
-	return &Result{Type: RecordsType, Records: out, Cells: dedupCells(cells)}, nil
+	return &Result{Type: RecordsType, Records: out, Cells: table.DedupCells(cells)}, nil
 }
 
 func execUnion(x *Union, t *table.Table) (*Result, error) {
@@ -283,7 +292,7 @@ func execUnion(x *Union, t *table.Table) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cells := dedupCells(append(append([]table.CellRef(nil), l.Cells...), r.Cells...))
+	cells := table.DedupCells(append(append([]table.CellRef(nil), l.Cells...), r.Cells...))
 	if l.Type == RecordsType {
 		set := make(map[int]bool)
 		for _, rec := range l.Records {
@@ -294,7 +303,7 @@ func execUnion(x *Union, t *table.Table) (*Result, error) {
 		}
 		return &Result{Type: RecordsType, Records: sortedRecords(set), Cells: cells}, nil
 	}
-	vals := dedupValues(append(append([]table.Value(nil), l.Values...), r.Values...))
+	vals := table.DedupValues(append(append([]table.Value(nil), l.Values...), r.Values...))
 	return &Result{Type: ValuesType, Values: vals, Cells: cells}, nil
 }
 
@@ -374,7 +383,7 @@ func execSub(x *Sub, t *table.Table) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cells := dedupCells(append(append([]table.CellRef(nil), l.Cells...), r.Cells...))
+	cells := table.DedupCells(append(append([]table.CellRef(nil), l.Cells...), r.Cells...))
 	return &Result{
 		Type:   ScalarType,
 		Values: []table.Value{table.NumberValue(lf - rf)},
@@ -417,7 +426,7 @@ func execArgRecords(x *ArgRecords, t *table.Table) (*Result, error) {
 			cells = append(cells, table.CellRef{Row: r, Col: col})
 		}
 	}
-	return &Result{Type: RecordsType, Records: out, Cells: dedupCells(cells)}, nil
+	return &Result{Type: RecordsType, Records: out, Cells: table.DedupCells(cells)}, nil
 }
 
 func execIndexSuperlative(x *IndexSuperlative, t *table.Table) (*Result, error) {
@@ -480,7 +489,7 @@ func execMostFrequent(x *MostFrequent, t *table.Table) (*Result, error) {
 	for _, r := range t.RecordsWhere(col, winner) {
 		cells = append(cells, table.CellRef{Row: r, Col: col})
 	}
-	return &Result{Type: ValuesType, Values: []table.Value{winner}, Cells: dedupCells(cells)}, nil
+	return &Result{Type: ValuesType, Values: []table.Value{winner}, Cells: table.DedupCells(cells)}, nil
 }
 
 func execCompareValues(x *CompareValues, t *table.Table) (*Result, error) {
@@ -520,7 +529,7 @@ func execCompareValues(x *CompareValues, t *table.Table) (*Result, error) {
 			cells = append(cells, table.CellRef{Row: p.row, Col: valCol})
 		}
 	}
-	return &Result{Type: ValuesType, Values: dedupValues(out), Cells: dedupCells(cells)}, nil
+	return &Result{Type: ValuesType, Values: table.DedupValues(out), Cells: table.DedupCells(cells)}, nil
 }
 
 func execCompare(x *Compare, t *table.Table) (*Result, error) {

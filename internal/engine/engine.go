@@ -108,6 +108,7 @@ type Engine struct {
 	tables map[string]*tableEntry
 
 	asts       *lruCache // query string -> dcs.Expr
+	plans      *lruCache // table version + query -> *dcs.Compiled
 	results    *lruCache // table version + query -> *Explanation
 	parseCache *lruCache // table version + question -> []*semparse.Candidate
 
@@ -128,6 +129,7 @@ func New(opts Options) *Engine {
 		opts:       opts,
 		tables:     make(map[string]*tableEntry),
 		asts:       newLRU(opts.CacheSize),
+		plans:      newLRU(opts.CacheSize),
 		results:    newLRU(opts.CacheSize),
 		parseCache: newLRU(opts.CacheSize),
 		inflight:   make(map[string]*inflightCall),
@@ -280,17 +282,40 @@ func (e *Engine) parseQuery(src string) (dcs.Expr, error) {
 	return q, nil
 }
 
+// compiledPlan resolves a query's compiled relational plan through
+// the plan LRU, keyed on table version so a re-registered table can
+// never serve a stale plan. Compiled plans are table-bound, immutable
+// and safe to share across concurrent executions.
+func (e *Engine) compiledPlan(entry *tableEntry, q dcs.Expr, query string) (*dcs.Compiled, error) {
+	key := "plan\x00" + entry.version + "\x00" + query
+	if v, ok := e.plans.get(key); ok {
+		e.ctr.planHits.Add(1)
+		return v.(*dcs.Compiled), nil
+	}
+	e.ctr.planMisses.Add(1)
+	c, err := dcs.Compile(q, entry.t)
+	if err != nil {
+		return nil, err
+	}
+	e.plans.put(key, c)
+	return c, nil
+}
+
 // compute runs the uncached pipeline: parse through the AST cache,
-// then the shared export pipeline (typecheck+execute,
-// provenance+highlight, sample, utter, translate), then the engine's
-// extra provenance projection.
+// compile through the plan cache, then the shared export pipeline
+// (execute, provenance+highlight, sample, utter, translate), then the
+// engine's extra provenance projection.
 func (e *Engine) compute(entry *tableEntry, tableName, query string) (*Explanation, error) {
 	start := time.Now()
 	q, err := e.parseQuery(query)
 	if err != nil {
 		return nil, fmt.Errorf("parsing %q: %w", query, err)
 	}
-	doc, h, err := export.Build(q, entry.t, e.opts.SampleThreshold)
+	c, err := e.compiledPlan(entry, q, query)
+	if err != nil {
+		return nil, fmt.Errorf("compiling %s on %s: %w", q, tableName, err)
+	}
+	doc, h, err := export.BuildCompiled(c, entry.t, e.opts.SampleThreshold)
 	if err != nil {
 		return nil, fmt.Errorf("explaining %s on %s: %w", q, tableName, err)
 	}

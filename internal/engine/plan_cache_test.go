@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"testing"
+)
+
+// TestPlanCacheHitMiss exercises the compiled-plan LRU directly
+// through compute: the first computation compiles and caches the plan,
+// a second computation of the same query (result cache bypassed, as on
+// eviction or concurrent misses) must hit the plan cache.
+func TestPlanCacheHitMiss(t *testing.T) {
+	e := newTestEngine(t)
+	entry, ok := e.tables["olympics"]
+	if !ok {
+		t.Fatal("olympics not registered")
+	}
+	const q = "max(R[Year].Country.Greece)"
+
+	if _, err := e.compute(entry, "olympics", q); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.PlanMisses != 1 || s.PlanHits != 0 {
+		t.Fatalf("after first compute: hits=%d misses=%d, want 0/1", s.PlanHits, s.PlanMisses)
+	}
+	if s.PlanCacheSize != 1 {
+		t.Fatalf("plan cache size = %d, want 1", s.PlanCacheSize)
+	}
+
+	if _, err := e.compute(entry, "olympics", q); err != nil {
+		t.Fatal(err)
+	}
+	s = e.Stats()
+	if s.PlanHits != 1 || s.PlanMisses != 1 {
+		t.Fatalf("after second compute: hits=%d misses=%d, want 1/1", s.PlanHits, s.PlanMisses)
+	}
+}
+
+// TestPlanCacheKeyedByVersion checks that re-registering changed table
+// content under the same name cannot serve a stale compiled plan: the
+// version in the key changes, so the next compute misses.
+func TestPlanCacheKeyedByVersion(t *testing.T) {
+	e := newTestEngine(t)
+	entry := e.tables["olympics"]
+	const q = "count(Country.Greece)"
+	if _, err := e.compute(entry, "olympics", q); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := e.RegisterRaw("olympics",
+		[]string{"Year", "City", "Country", "Nations"},
+		[][]string{{"2024", "Paris", "France", "206"}}); err != nil {
+		t.Fatal(err)
+	}
+	entry2 := e.tables["olympics"]
+	if entry2.version == entry.version {
+		t.Fatal("version unchanged after re-register")
+	}
+	if _, err := e.compute(entry2, "olympics", q); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.PlanHits != 0 || s.PlanMisses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 0 hits / 2 misses across versions", s.PlanHits, s.PlanMisses)
+	}
+}

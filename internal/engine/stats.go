@@ -8,6 +8,8 @@ import "sync/atomic"
 type counters struct {
 	astHits      atomic.Uint64
 	astMisses    atomic.Uint64
+	planHits     atomic.Uint64
+	planMisses   atomic.Uint64
 	resultHits   atomic.Uint64
 	resultMisses atomic.Uint64
 	parseHits    atomic.Uint64
@@ -26,10 +28,13 @@ type counters struct {
 type Stats struct {
 	Tables         int     `json:"tables"`
 	ASTCacheSize   int     `json:"ast_cache_size"`
+	PlanCacheSize  int     `json:"plan_cache_size"`
 	ResultCache    int     `json:"result_cache_size"`
 	ParseCacheSize int     `json:"parse_cache_size"`
 	ASTHits        uint64  `json:"ast_hits"`
 	ASTMisses      uint64  `json:"ast_misses"`
+	PlanHits       uint64  `json:"plan_hits"`
+	PlanMisses     uint64  `json:"plan_misses"`
 	ResultHits     uint64  `json:"result_hits"`
 	ResultMisses   uint64  `json:"result_misses"`
 	ParseHits      uint64  `json:"parse_hits"`
@@ -54,10 +59,13 @@ func (e *Engine) Stats() Stats {
 	s := Stats{
 		Tables:         tables,
 		ASTCacheSize:   e.asts.len(),
+		PlanCacheSize:  e.plans.len(),
 		ResultCache:    e.results.len(),
 		ParseCacheSize: e.parseCache.len(),
 		ASTHits:        e.ctr.astHits.Load(),
 		ASTMisses:      e.ctr.astMisses.Load(),
+		PlanHits:       e.ctr.planHits.Load(),
+		PlanMisses:     e.ctr.planMisses.Load(),
 		ResultHits:     e.ctr.resultHits.Load(),
 		ResultMisses:   e.ctr.resultMisses.Load(),
 		ParseHits:      e.ctr.parseHits.Load(),

@@ -43,14 +43,25 @@ const maxInlineRows = 40
 // row budget before Section 5.3 sampling kicks in; <= 0 selects the
 // default (40).
 func Build(q dcs.Expr, t *table.Table, threshold int) (*ExplanationJSON, *provenance.Highlights, error) {
-	if threshold <= 0 {
-		threshold = maxInlineRows
-	}
-	res, err := dcs.Execute(q, t)
+	c, err := dcs.Compile(q, t)
 	if err != nil {
 		return nil, nil, err
 	}
-	h, err := provenance.Highlight(q, t)
+	return BuildCompiled(c, t, threshold)
+}
+
+// BuildCompiled is Build for an already-compiled query, letting
+// callers that cache compiled plans (the engine's plan LRU) skip the
+// lowering and rewriting work. The source expression is read off the
+// plan, so the document and the executed plan can never disagree; the
+// result string and the highlights both come from the single traced
+// execution the provenance pipeline performs.
+func BuildCompiled(c *dcs.Compiled, t *table.Table, threshold int) (*ExplanationJSON, *provenance.Highlights, error) {
+	q := c.Expr
+	if threshold <= 0 {
+		threshold = maxInlineRows
+	}
+	h, res, err := provenance.HighlightCompiled(c, t)
 	if err != nil {
 		return nil, nil, err
 	}

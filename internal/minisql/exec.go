@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"nlexplain/internal/plan"
 	"nlexplain/internal/table"
 )
 
@@ -15,13 +16,17 @@ import (
 // NULL comparisons), while top-level aggregates surface the error.
 var errEmptyAggregate = errors.New("aggregate over an empty set")
 
-// Rows is a query result: column labels, data rows, and for plain
-// (non-aggregated, non-derived) selections the source record index of
-// each output row (-1 when the row is computed).
+// Rows is a query result: column labels, data rows, and the source
+// record index of each output row.
 type Rows struct {
 	Cols []string
 	Data [][]table.Value
-	Src  []int
+	// Src holds, per output row, the base-table record the row was
+	// projected from, or the computed-row sentinel -1 for rows that do
+	// not correspond to any single source record (aggregate outputs and
+	// scalar differences). Mixed results — e.g. a UNION of a plain
+	// selection with an aggregate — carry both kinds side by side.
+	Src []int
 }
 
 // FirstColumn returns the values of the first output column.
@@ -34,10 +39,10 @@ func (r *Rows) FirstColumn() []table.Value {
 }
 
 // SourceRows returns the sorted distinct source record indices of the
-// result, ignoring computed rows.
+// result, ignoring rows marked with the -1 computed-row sentinel.
 func (r *Rows) SourceRows() []int {
-	seen := make(map[int]bool)
-	var out []int
+	seen := make(map[int]bool, len(r.Src))
+	out := make([]int, 0, len(r.Src))
 	for _, s := range r.Src {
 		if s >= 0 && !seen[s] {
 			seen[s] = true
@@ -59,9 +64,21 @@ func (r *Rows) key(i int) string {
 	return b.String()
 }
 
-// Exec evaluates a query against a table. The FROM clause may name the
-// table or use any placeholder (the paper writes FROM T throughout).
+// Exec evaluates a query against a table by lowering it into the
+// shared relational plan IR (internal/plan), optimizing it (predicate
+// pushdown into KB index lookups, Filter+Scan fusion, Distinct
+// elimination) and running the vectorized executor. The FROM clause
+// may name the table or use any placeholder (the paper writes FROM T
+// throughout).
 func Exec(q Query, t *table.Table) (*Rows, error) {
+	e := &evaluator{t: t, memo: make(map[Query]*Rows), usePlan: true}
+	return e.query(q)
+}
+
+// ExecInterpreted evaluates the query with the legacy tree-walking
+// interpreter, retained as the reference semantics for differential
+// tests and benchmarks against the plan path.
+func ExecInterpreted(q Query, t *table.Table) (*Rows, error) {
 	e := &evaluator{t: t, memo: make(map[Query]*Rows)}
 	return e.query(q)
 }
@@ -78,6 +95,11 @@ func Run(src string, t *table.Table) (*Rows, error) {
 type evaluator struct {
 	t    *table.Table
 	memo map[Query]*Rows
+	// usePlan routes query execution through the plan compiler; the
+	// expression evaluators (evalExpr/evalBool/evalGroupExpr) are shared
+	// by both paths, and subqueries reached from predicate closures run
+	// through query again, so they follow the same route.
+	usePlan bool
 }
 
 func (e *evaluator) query(q Query) (*Rows, error) {
@@ -86,21 +108,40 @@ func (e *evaluator) query(q Query) (*Rows, error) {
 	}
 	var r *Rows
 	var err error
-	switch x := q.(type) {
-	case *Select:
-		r, err = e.selectQuery(x)
-	case *UnionQuery:
-		r, err = e.unionQuery(x)
-	case *DiffQuery:
-		r, err = e.diffQuery(x)
-	default:
-		err = fmt.Errorf("sql exec: unknown query type %T", q)
+	if e.usePlan {
+		r, err = e.planQuery(q)
+	} else {
+		switch x := q.(type) {
+		case *Select:
+			r, err = e.selectQuery(x)
+		case *UnionQuery:
+			r, err = e.unionQuery(x)
+		case *DiffQuery:
+			r, err = e.diffQuery(x)
+		default:
+			err = fmt.Errorf("sql exec: unknown query type %T", q)
+		}
 	}
 	if err != nil {
 		return nil, err
 	}
 	e.memo[q] = r
 	return r, nil
+}
+
+// planQuery lowers, optimizes and runs one statement on the shared
+// plan core, under the inactive tracer (SQL results carry no witness
+// cells; provenance consumers use SourceRows).
+func (e *evaluator) planQuery(q Query) (*Rows, error) {
+	n, err := e.lowerQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	v, err := plan.Run(plan.Optimize(n), e.t, plan.Noop{})
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{Cols: v.Cols, Data: v.Data, Src: v.Src}, nil
 }
 
 func (e *evaluator) unionQuery(q *UnionQuery) (*Rows, error) {

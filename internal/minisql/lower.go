@@ -1,0 +1,213 @@
+package minisql
+
+import (
+	"fmt"
+	"strings"
+
+	"nlexplain/internal/plan"
+	"nlexplain/internal/table"
+)
+
+// lowerQuery translates a SQL statement into the shared relational
+// plan IR. Simple predicates (column-vs-literal comparisons and their
+// boolean combinations) lower to native plan predicates the rewriter
+// can push into KB index lookups and sorted-index comparisons;
+// everything else (subqueries, arithmetic, the Index pseudo-column)
+// stays an opaque closure over this evaluator, so semantics — NULL
+// comparison behaviour, error messages, memoized subqueries — are
+// byte-for-byte those of the expression interpreter.
+func (e *evaluator) lowerQuery(q Query) (plan.Node, error) {
+	switch x := q.(type) {
+	case *Select:
+		return e.lowerSelect(x)
+	case *UnionQuery:
+		l, err := e.lowerQuery(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.lowerQuery(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.SQLUnion{L: l, R: r}, nil
+	case *DiffQuery:
+		l, err := e.lowerQuery(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.lowerQuery(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.SQLDiff{L: l, R: r}, nil
+	}
+	return nil, fmt.Errorf("sql exec: unknown query type %T", q)
+}
+
+func (e *evaluator) lowerSelect(s *Select) (plan.Node, error) {
+	var src plan.Node = &plan.Scan{}
+	if s.Where != nil {
+		src = &plan.Filter{Input: src, Pred: e.lowerPred(s.Where)}
+	}
+
+	aggregated := s.GroupBy != "" || itemsHaveAggr(s.Items) || hasAggr(s.OrderBy)
+	var out plan.Node
+	if aggregated {
+		agg := &plan.SQLAggregate{Input: src, GroupCol: -1, Desc: s.Desc}
+		if s.GroupBy != "" {
+			col, ok := e.t.ColumnIndex(s.GroupBy)
+			if !ok {
+				return nil, fmt.Errorf("sql exec: unknown GROUP BY column %q", s.GroupBy)
+			}
+			agg.GroupCol = col
+		}
+		for _, it := range s.Items {
+			if it.Star {
+				return nil, fmt.Errorf("sql exec: SELECT * is not allowed in an aggregate query")
+			}
+			expr := it.Expr
+			agg.Items = append(agg.Items, plan.GroupItem{
+				Label: exprLabel(expr),
+				Fn:    func(rows []int) (table.Value, error) { return e.evalGroupExpr(expr, rows) },
+			})
+		}
+		if ob := s.OrderBy; ob != nil {
+			agg.Order = func(rows []int) (table.Value, error) { return e.evalGroupExpr(ob, rows) }
+		}
+		out = agg
+	} else {
+		proj := &plan.SQLProject{Input: src}
+		for _, it := range s.Items {
+			if it.Star {
+				for c := 0; c < e.t.NumCols(); c++ {
+					proj.Items = append(proj.Items, plan.ProjItem{Label: e.t.Column(c), Col: c})
+				}
+				continue
+			}
+			proj.Items = append(proj.Items, e.lowerItem(it.Expr))
+		}
+		if ob := s.OrderBy; ob != nil {
+			proj.Order = e.lowerOrder(ob, s.Desc)
+		}
+		out = proj
+	}
+
+	if s.Distinct {
+		out = &plan.Distinct{Input: out}
+	}
+	if s.Limit >= 0 {
+		out = &plan.Limit{Input: out, N: s.Limit}
+	}
+	return out, nil
+}
+
+// lowerItem lowers one projection: plain column references become
+// direct column reads (the vectorized fast path); anything else —
+// including unknown columns, whose error must still surface per
+// evaluated row exactly like the interpreter's — falls back to an
+// expression closure.
+func (e *evaluator) lowerItem(x Expr) plan.ProjItem {
+	it := plan.ProjItem{Label: exprLabel(x), Col: -1}
+	if ref, ok := x.(*ColRef); ok {
+		if strings.EqualFold(ref.Name, "Index") {
+			it.Index = true
+			return it
+		}
+		if col, ok := e.t.ColumnIndex(ref.Name); ok {
+			it.Col = col
+			return it
+		}
+	}
+	it.Fn = func(row int) (table.Value, error) { return e.evalExpr(x, row) }
+	return it
+}
+
+func (e *evaluator) lowerOrder(x Expr, desc bool) *plan.OrderBy {
+	ob := &plan.OrderBy{Col: -1, Desc: desc}
+	if ref, ok := x.(*ColRef); ok {
+		if strings.EqualFold(ref.Name, "Index") {
+			ob.Index = true
+			return ob
+		}
+		if col, ok := e.t.ColumnIndex(ref.Name); ok {
+			ob.Col = col
+			return ob
+		}
+	}
+	ob.Fn = func(row int) (table.Value, error) { return e.evalExpr(x, row) }
+	return ob
+}
+
+// lowerPred lowers a WHERE predicate. Column-vs-literal comparisons
+// become native CmpPreds (rewritable into index lookups); boolean
+// connectives lower structurally so native conjuncts survive inside
+// mixed predicates; the rest closes over the interpreter's evalBool.
+func (e *evaluator) lowerPred(x Expr) plan.Pred {
+	switch v := x.(type) {
+	case *BinOp:
+		switch v.Op {
+		case "AND":
+			return &plan.AndPred{L: e.lowerPred(v.L), R: e.lowerPred(v.R)}
+		case "OR":
+			return &plan.OrPred{L: e.lowerPred(v.L), R: e.lowerPred(v.R)}
+		case "=", "!=", "<", "<=", ">", ">=":
+			if p, ok := e.nativeCmp(v); ok {
+				return p
+			}
+		}
+	case *NotExpr:
+		return &plan.NotPred{P: e.lowerPred(v.Arg)}
+	}
+	return &plan.FuncPred{Fn: func(row int) (bool, error) { return e.evalBool(x, row) }}
+}
+
+// nativeCmp recognizes column-op-literal (either side order) against a
+// real table column; the Index pseudo-column and computed expressions
+// stay on the interpreter path.
+func (e *evaluator) nativeCmp(v *BinOp) (plan.Pred, bool) {
+	ref, lit := asColLit(v.L, v.R)
+	op := v.Op
+	if ref == nil {
+		if ref, lit = asColLit(v.R, v.L); ref == nil {
+			return nil, false
+		}
+		// Flip the operator: lit < col is col > lit, etc.
+		switch v.Op {
+		case "<":
+			op = ">"
+		case "<=":
+			op = ">="
+		case ">":
+			op = "<"
+		case ">=":
+			op = "<="
+		}
+	}
+	if strings.EqualFold(ref.Name, "Index") {
+		return nil, false
+	}
+	col, ok := e.t.ColumnIndex(ref.Name)
+	if !ok {
+		return nil, false
+	}
+	// Equality fast paths (and their IndexLookup pushdown) answer via
+	// canonical-key identity, which must provably agree with the
+	// interpreter's Value.Equal: NaN and non-ASCII case folds break
+	// that agreement, so such predicates stay on the closure path.
+	if (op == "=" || op == "!=") && !e.t.KeyEqualConsistent(col, lit.V) {
+		return nil, false
+	}
+	return &plan.CmpPred{Col: col, Op: op, V: lit.V}, true
+}
+
+func asColLit(l, r Expr) (*ColRef, *Lit) {
+	ref, ok := l.(*ColRef)
+	if !ok {
+		return nil, nil
+	}
+	lit, ok := r.(*Lit)
+	if !ok {
+		return nil, nil
+	}
+	return ref, lit
+}

@@ -1,0 +1,1013 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"nlexplain/internal/table"
+)
+
+// Val is the runtime denotation of a plan node. Exactly the fields of
+// its Kind are meaningful: Rows for RowsKind (ascending record
+// indices), Values for ValuesKind and ScalarKind (ScalarKind holds the
+// single scalar in Values[0] and the producing aggregate, if any, in
+// Aggr), and Cols/Data/Src for TableKind (Src holds each output row's
+// source record index, or the computed-row sentinel -1).
+//
+// Cells carries the node's PO witness cells, computed only under an
+// active Tracer; with an inactive tracer it is always nil.
+type Val struct {
+	Kind   Kind
+	Rows   []int
+	Values []table.Value
+	Cols   []string
+	Data   [][]table.Value
+	Src    []int
+	Aggr   string
+	Cells  []table.CellRef
+}
+
+// Run executes a plan over a table under the given tracer. A nil
+// tracer is treated as Noop (answer-only execution).
+func Run(n Node, t *table.Table, tr Tracer) (*Val, error) {
+	if tr == nil {
+		tr = Noop{}
+	}
+	ex := &executor{t: t, tr: tr, trace: tr.Active()}
+	return ex.run(n)
+}
+
+type executor struct {
+	t     *table.Table
+	tr    Tracer
+	trace bool
+}
+
+func (ex *executor) run(n Node) (*Val, error) {
+	v, err := ex.eval(n)
+	if err != nil {
+		return nil, err
+	}
+	if ex.trace {
+		ex.tr.Operator(n.Op(), v.Cells)
+	}
+	return v, nil
+}
+
+func (ex *executor) eval(n Node) (*Val, error) {
+	switch x := n.(type) {
+	case *Scan:
+		return &Val{Kind: RowsKind, Rows: ex.t.Records()}, nil
+	case *IndexLookup:
+		return ex.indexLookup(x.Col, x.Keys)
+	case *Lookup:
+		in, err := ex.run(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		return ex.indexLookup(x.Col, in.Values)
+	case *Compare:
+		return ex.compare(x)
+	case *Filter:
+		return ex.filter(x)
+	case *Shift:
+		return ex.shift(x)
+	case *Intersect:
+		return ex.intersect(x)
+	case *Union:
+		return ex.union(x)
+	case *Superlative:
+		return ex.superlative(x)
+	case *Const:
+		return &Val{Kind: ValuesKind, Values: x.Values}, nil
+	case *constScalar:
+		return &Val{Kind: ScalarKind, Values: x.Values, Aggr: x.aggr}, nil
+	case *ProjectCol:
+		return ex.projectCol(x)
+	case *IndexSuper:
+		return ex.indexSuper(x)
+	case *MostFrequent:
+		return ex.mostFrequent(x)
+	case *CompareVals:
+		return ex.compareVals(x)
+	case *Aggregate:
+		return ex.aggregate(x)
+	case *Arith:
+		return ex.arith(x)
+	case *SQLProject:
+		return ex.sqlProject(x)
+	case *SQLAggregate:
+		return ex.sqlAggregate(x)
+	case *Distinct:
+		return ex.distinct(x)
+	case *Limit:
+		return ex.limit(x)
+	case *SQLUnion:
+		return ex.sqlUnion(x)
+	case *SQLDiff:
+		return ex.sqlDiff(x)
+	}
+	return nil, fmt.Errorf("plan: unknown node type %T", n)
+}
+
+// ---- cell helpers (active tracer only) ----
+
+// cellsAt builds the witness cells (r, col) for a sorted, duplicate-
+// free row set — already row-major sorted by construction.
+func cellsAt(rows []int, col int) []table.CellRef {
+	out := make([]table.CellRef, len(rows))
+	for i, r := range rows {
+		out[i] = table.CellRef{Row: r, Col: col}
+	}
+	return out
+}
+
+// ---- row operators ----
+
+func (ex *executor) indexLookup(col int, keys []table.Value) (*Val, error) {
+	t := ex.t
+	var rows []int
+	if len(keys) == 1 {
+		// Posting lists are ascending and duplicate-free, but they are
+		// shared with the table's KB index: copy, because the row set
+		// escapes into caller-owned results (dcs.Result.Records).
+		rows = append([]int(nil), t.RowsForKey(col, keys[0].Key())...)
+	} else {
+		set := make(map[int]bool)
+		for _, v := range keys {
+			for _, r := range t.RowsForKey(col, v.Key()) {
+				set[r] = true
+			}
+		}
+		rows = make([]int, 0, len(set))
+		for r := range set {
+			rows = append(rows, r)
+		}
+		sort.Ints(rows)
+	}
+	v := &Val{Kind: RowsKind, Rows: rows}
+	if ex.trace {
+		v.Cells = cellsAt(rows, col)
+	}
+	return v, nil
+}
+
+func (ex *executor) compare(x *Compare) (*Val, error) {
+	t := ex.t
+	var rows []int
+	switch x.Cmp {
+	case "=", "!=":
+		want := x.Cmp == "="
+		if !t.KeyEqualConsistent(x.Col, x.V) {
+			// Key identity and Value.Equal disagree here (NaN literal,
+			// or Unicode case folds outside ASCII): scan with the
+			// interpreter's Equal semantics.
+			for r := 0; r < t.NumRows(); r++ {
+				if t.Value(r, x.Col).Equal(x.V) == want {
+					rows = append(rows, r)
+				}
+			}
+			break
+		}
+		if want {
+			rows = append([]int(nil), t.RowsForKey(x.Col, x.V.Key())...)
+			break
+		}
+		// Entity inequality: complement of the KB posting list, walked
+		// with two pointers so no per-row string comparison happens.
+		eq := t.RowsForKey(x.Col, x.V.Key())
+		rows = make([]int, 0, t.NumRows()-len(eq))
+		j := 0
+		for r := 0; r < t.NumRows(); r++ {
+			if j < len(eq) && eq[j] == r {
+				j++
+				continue
+			}
+			rows = append(rows, r)
+		}
+	default:
+		lit, ok := x.V.Float()
+		if !ok {
+			// Range operators apply only between numeric values: a text
+			// literal matches nothing.
+			break
+		}
+		// A NaN literal breaks binary search (every ordering predicate
+		// is false on NaN); fall back to the Value.Compare scan, which
+		// reproduces the interpreter's NaN behaviour.
+		if t.ColumnIndexable(x.Col) && !math.IsNaN(lit) {
+			rows = ex.rangeFromIndex(x.Col, x.Cmp, lit)
+		} else {
+			rows = ex.rangeScan(x.Col, x.Cmp, x.V)
+		}
+	}
+	v := &Val{Kind: RowsKind, Rows: rows}
+	if ex.trace {
+		v.Cells = cellsAt(rows, x.Col)
+	}
+	return v, nil
+}
+
+// rangeFromIndex answers a numeric range predicate from the sorted
+// numeric index in O(log n) plus output size.
+func (ex *executor) rangeFromIndex(col int, op string, lit float64) []int {
+	idx := ex.t.NumericSortedRows(col)
+	nums, _ := ex.t.ColumnNums(col)
+	ge := func(i int) bool { return nums[idx[i]] >= lit }
+	gt := func(i int) bool { return nums[idx[i]] > lit }
+	var part []int
+	switch op {
+	case "<":
+		part = idx[:sort.Search(len(idx), ge)]
+	case "<=":
+		part = idx[:sort.Search(len(idx), gt)]
+	case ">":
+		part = idx[sort.Search(len(idx), gt):]
+	case ">=":
+		part = idx[sort.Search(len(idx), ge):]
+	}
+	rows := append([]int(nil), part...)
+	sort.Ints(rows)
+	return rows
+}
+
+// rangeScan is the fallback comparison scan for columns the index
+// cannot represent (NaN cells), mirroring Value.Compare semantics.
+func (ex *executor) rangeScan(col int, op string, lit table.Value) []int {
+	t := ex.t
+	var rows []int
+	for r := 0; r < t.NumRows(); r++ {
+		v := t.Value(r, col)
+		if !v.IsNumeric() {
+			continue
+		}
+		cmp := v.Compare(lit)
+		ok := false
+		switch op {
+		case "<":
+			ok = cmp < 0
+		case "<=":
+			ok = cmp <= 0
+		case ">":
+			ok = cmp > 0
+		case ">=":
+			ok = cmp >= 0
+		}
+		if ok {
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+func (ex *executor) filter(x *Filter) (*Val, error) {
+	in, err := ex.run(x.Input)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := ex.compilePred(x.Pred)
+	if err != nil {
+		return nil, err
+	}
+	var rows []int
+	for _, r := range in.Rows {
+		ok, err := pred(r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			rows = append(rows, r)
+		}
+	}
+	v := &Val{Kind: RowsKind, Rows: rows}
+	if ex.trace {
+		if cp, ok := x.Pred.(*CmpPred); ok {
+			v.Cells = cellsAt(rows, cp.Col)
+		}
+	}
+	return v, nil
+}
+
+// compilePred lowers a predicate tree into one closure, hoisting the
+// literal key / numeric conversions out of the per-row loop.
+func (ex *executor) compilePred(p Pred) (func(row int) (bool, error), error) {
+	t := ex.t
+	switch x := p.(type) {
+	case *CmpPred:
+		switch x.Op {
+		case "=", "!=":
+			if !t.KeyEqualConsistent(x.Col, x.V) {
+				// Key identity and Value.Equal disagree here (NaN, or
+				// Unicode case folds outside ASCII): keep the
+				// interpreter's Equal semantics.
+				col, v, want := x.Col, x.V, x.Op == "="
+				return func(r int) (bool, error) { return t.Value(r, col).Equal(v) == want, nil }, nil
+			}
+			keys := t.ColumnKeys(x.Col)
+			lit := x.V.Key()
+			if x.Op == "=" {
+				return func(r int) (bool, error) { return keys[r] == lit, nil }, nil
+			}
+			return func(r int) (bool, error) { return keys[r] != lit, nil }, nil
+		case "<", "<=", ">", ">=":
+			lit, ok := x.V.Float()
+			if !ok {
+				return func(int) (bool, error) { return false, nil }, nil
+			}
+			if !t.ColumnIndexable(x.Col) || math.IsNaN(lit) {
+				op, v := x.Op, x.V
+				col := x.Col
+				return func(r int) (bool, error) {
+					c := t.Value(r, col)
+					if !c.IsNumeric() {
+						return false, nil
+					}
+					cmp := c.Compare(v)
+					switch op {
+					case "<":
+						return cmp < 0, nil
+					case "<=":
+						return cmp <= 0, nil
+					case ">":
+						return cmp > 0, nil
+					default:
+						return cmp >= 0, nil
+					}
+				}, nil
+			}
+			nums, isNum := t.ColumnNums(x.Col)
+			switch x.Op {
+			case "<":
+				return func(r int) (bool, error) { return isNum[r] && nums[r] < lit, nil }, nil
+			case "<=":
+				return func(r int) (bool, error) { return isNum[r] && nums[r] <= lit, nil }, nil
+			case ">":
+				return func(r int) (bool, error) { return isNum[r] && nums[r] > lit, nil }, nil
+			default:
+				return func(r int) (bool, error) { return isNum[r] && nums[r] >= lit, nil }, nil
+			}
+		default:
+			return nil, fmt.Errorf("plan: unknown comparison operator %q", x.Op)
+		}
+	case *AndPred:
+		l, err := ex.compilePred(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ex.compilePred(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return func(row int) (bool, error) {
+			ok, err := l(row)
+			if err != nil || !ok {
+				return false, err
+			}
+			return r(row)
+		}, nil
+	case *OrPred:
+		l, err := ex.compilePred(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ex.compilePred(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return func(row int) (bool, error) {
+			ok, err := l(row)
+			if err != nil || ok {
+				return ok, err
+			}
+			return r(row)
+		}, nil
+	case *NotPred:
+		f, err := ex.compilePred(x.P)
+		if err != nil {
+			return nil, err
+		}
+		return func(row int) (bool, error) {
+			ok, err := f(row)
+			return !ok, err
+		}, nil
+	case *FuncPred:
+		return x.Fn, nil
+	}
+	return nil, fmt.Errorf("plan: unknown predicate type %T", p)
+}
+
+func (ex *executor) shift(x *Shift) (*Val, error) {
+	in, err := ex.run(x.Input)
+	if err != nil {
+		return nil, err
+	}
+	n := ex.t.NumRows()
+	rows := make([]int, 0, len(in.Rows))
+	for _, r := range in.Rows {
+		if s := r + x.Delta; s >= 0 && s < n {
+			rows = append(rows, s)
+		}
+	}
+	// Input rows are ascending and duplicate-free, so a constant shift
+	// clipped to the table stays ascending and duplicate-free. The
+	// witness cells of a pure record shift are inherited from the
+	// argument: the shift itself touches no new cells.
+	return &Val{Kind: RowsKind, Rows: rows, Cells: in.Cells}, nil
+}
+
+func (ex *executor) intersect(x *Intersect) (*Val, error) {
+	l, err := ex.run(x.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ex.run(x.R)
+	if err != nil {
+		return nil, err
+	}
+	inR := make(map[int]bool, len(r.Rows))
+	for _, rec := range r.Rows {
+		inR[rec] = true
+	}
+	var rows []int
+	for _, rec := range l.Rows {
+		if inR[rec] {
+			rows = append(rows, rec)
+		}
+	}
+	v := &Val{Kind: RowsKind, Rows: rows}
+	if ex.trace {
+		// Table 10: PO(records1 ⊓ records2) = PO(records1) ∩ PO(records2).
+		lset := table.NewCellSet(l.Cells...)
+		var cells []table.CellRef
+		for _, c := range r.Cells {
+			if lset.Contains(c) {
+				cells = append(cells, c)
+			}
+		}
+		v.Cells = table.DedupCells(cells)
+	}
+	return v, nil
+}
+
+func (ex *executor) union(x *Union) (*Val, error) {
+	l, err := ex.run(x.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ex.run(x.R)
+	if err != nil {
+		return nil, err
+	}
+	v := &Val{Kind: l.Kind}
+	if l.Kind == RowsKind {
+		set := make(map[int]bool, len(l.Rows)+len(r.Rows))
+		for _, rec := range l.Rows {
+			set[rec] = true
+		}
+		for _, rec := range r.Rows {
+			set[rec] = true
+		}
+		rows := make([]int, 0, len(set))
+		for rec := range set {
+			rows = append(rows, rec)
+		}
+		sort.Ints(rows)
+		v.Rows = rows
+	} else {
+		v.Values = table.DedupValues(append(append([]table.Value(nil), l.Values...), r.Values...))
+	}
+	if ex.trace {
+		v.Cells = table.DedupCells(append(append([]table.CellRef(nil), l.Cells...), r.Cells...))
+	}
+	return v, nil
+}
+
+func (ex *executor) superlative(x *Superlative) (*Val, error) {
+	in, err := ex.run(x.Input)
+	if err != nil {
+		return nil, err
+	}
+	rows := in.Rows
+	if len(rows) == 0 {
+		return &Val{Kind: RowsKind}, nil
+	}
+	t := ex.t
+	var out []int
+	if t.ColumnAllNumeric(x.Col) && t.ColumnIndexable(x.Col) {
+		nums, _ := t.ColumnNums(x.Col)
+		if len(rows) == t.NumRows() {
+			// Full-table superlative: read the extreme off the sorted
+			// numeric index and collect its tie group.
+			idx := t.NumericSortedRows(x.Col)
+			if x.Max {
+				best := nums[idx[len(idx)-1]]
+				for i := len(idx) - 1; i >= 0 && nums[idx[i]] == best; i-- {
+					out = append(out, idx[i])
+				}
+			} else {
+				best := nums[idx[0]]
+				for i := 0; i < len(idx) && nums[idx[i]] == best; i++ {
+					out = append(out, idx[i])
+				}
+			}
+			sort.Ints(out)
+		} else {
+			// Subset superlative: one vectorized pass over the float
+			// column, no Value boxing.
+			best := nums[rows[0]]
+			for _, r := range rows[1:] {
+				if (x.Max && nums[r] > best) || (!x.Max && nums[r] < best) {
+					best = nums[r]
+				}
+			}
+			for _, r := range rows {
+				if nums[r] == best {
+					out = append(out, r)
+				}
+			}
+		}
+	} else {
+		best := t.Value(rows[0], x.Col)
+		for _, r := range rows[1:] {
+			v := t.Value(r, x.Col)
+			if (x.Max && v.Compare(best) > 0) || (!x.Max && v.Compare(best) < 0) {
+				best = v
+			}
+		}
+		for _, r := range rows {
+			if t.Value(r, x.Col).Compare(best) == 0 {
+				out = append(out, r)
+			}
+		}
+	}
+	v := &Val{Kind: RowsKind, Rows: out}
+	if ex.trace {
+		v.Cells = cellsAt(out, x.Col)
+	}
+	return v, nil
+}
+
+// ---- value operators ----
+
+func (ex *executor) projectCol(x *ProjectCol) (*Val, error) {
+	in, err := ex.run(x.Input)
+	if err != nil {
+		return nil, err
+	}
+	t := ex.t
+	keys := t.ColumnKeys(x.Col)
+	seen := make(map[string]bool, len(in.Rows))
+	var vals []table.Value
+	for _, r := range in.Rows {
+		if k := keys[r]; !seen[k] {
+			seen[k] = true
+			vals = append(vals, t.Value(r, x.Col))
+		}
+	}
+	v := &Val{Kind: ValuesKind, Values: vals}
+	if ex.trace {
+		v.Cells = cellsAt(in.Rows, x.Col)
+	}
+	return v, nil
+}
+
+func (ex *executor) indexSuper(x *IndexSuper) (*Val, error) {
+	in, err := ex.run(x.Input)
+	if err != nil {
+		return nil, err
+	}
+	if len(in.Rows) == 0 {
+		return &Val{Kind: ValuesKind}, nil
+	}
+	r := in.Rows[len(in.Rows)-1]
+	if x.First {
+		r = in.Rows[0]
+	}
+	v := &Val{Kind: ValuesKind, Values: []table.Value{ex.t.Value(r, x.Col)}}
+	if ex.trace {
+		v.Cells = []table.CellRef{{Row: r, Col: x.Col}}
+	}
+	return v, nil
+}
+
+func (ex *executor) mostFrequent(x *MostFrequent) (*Val, error) {
+	t := ex.t
+	var candidates []table.Value
+	if x.Input == nil {
+		candidates = t.DistinctColumnValues(x.Col)
+	} else {
+		in, err := ex.run(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		candidates = in.Values
+	}
+	if len(candidates) == 0 {
+		return &Val{Kind: ValuesKind}, nil
+	}
+	// Ties break towards the value appearing earliest in the table,
+	// matching the SQL translation's GROUP BY (groups form in row order)
+	// with a stable ORDER BY COUNT(Index) DESC LIMIT 1 (Table 10).
+	bestCount := 0
+	bestFirst := 0
+	var winner table.Value
+	for _, v := range candidates {
+		occ := t.RowsForKey(x.Col, v.Key())
+		if len(occ) == 0 {
+			continue
+		}
+		if len(occ) > bestCount || (len(occ) == bestCount && occ[0] < bestFirst) {
+			bestCount = len(occ)
+			bestFirst = occ[0]
+			winner = v
+		}
+	}
+	if bestCount == 0 {
+		return &Val{Kind: ValuesKind}, nil
+	}
+	v := &Val{Kind: ValuesKind, Values: []table.Value{winner}}
+	if ex.trace {
+		v.Cells = cellsAt(t.RowsForKey(x.Col, winner.Key()), x.Col)
+	}
+	return v, nil
+}
+
+func (ex *executor) compareVals(x *CompareVals) (*Val, error) {
+	in, err := ex.run(x.Input)
+	if err != nil {
+		return nil, err
+	}
+	t := ex.t
+	// SQL semantics (Table 10, Comparing Values): the extreme key value
+	// over all records whose ValCol value is a candidate, then the
+	// DISTINCT ValCol values of records achieving that key.
+	var pool []int
+	for _, v := range in.Values {
+		pool = append(pool, t.RowsForKey(x.ValCol, v.Key())...)
+	}
+	if len(pool) == 0 {
+		return &Val{Kind: ValuesKind}, nil
+	}
+	best := t.Value(pool[0], x.KeyCol)
+	for _, r := range pool[1:] {
+		k := t.Value(r, x.KeyCol)
+		if (x.Max && k.Compare(best) > 0) || (!x.Max && k.Compare(best) < 0) {
+			best = k
+		}
+	}
+	var out []table.Value
+	var cells []table.CellRef
+	for _, r := range pool {
+		if t.Value(r, x.KeyCol).Compare(best) == 0 {
+			out = append(out, t.Value(r, x.ValCol))
+			if ex.trace {
+				cells = append(cells, table.CellRef{Row: r, Col: x.ValCol})
+			}
+		}
+	}
+	v := &Val{Kind: ValuesKind, Values: table.DedupValues(out)}
+	if ex.trace {
+		v.Cells = table.DedupCells(cells)
+	}
+	return v, nil
+}
+
+// ---- scalar operators ----
+
+func (ex *executor) aggregate(x *Aggregate) (*Val, error) {
+	in, err := ex.run(x.Input)
+	if err != nil {
+		return nil, err
+	}
+	if x.Fn == "count" {
+		n := len(in.Values)
+		if in.Kind == RowsKind {
+			n = len(in.Rows)
+		}
+		return &Val{
+			Kind:   ScalarKind,
+			Values: []table.Value{table.NumberValue(float64(n))},
+			Aggr:   "count",
+			Cells:  in.Cells,
+		}, nil
+	}
+	if len(in.Values) == 0 {
+		return nil, fmt.Errorf("%s over an empty set", x.Fn)
+	}
+	var sum float64
+	var extreme table.Value
+	for i, v := range in.Values {
+		f, ok := v.Float()
+		if !ok {
+			return nil, fmt.Errorf("%s over non-numeric value %q", x.Fn, v)
+		}
+		sum += f
+		switch x.Fn {
+		case "min":
+			if i == 0 || v.Compare(extreme) < 0 {
+				extreme = v
+			}
+		case "max":
+			if i == 0 || v.Compare(extreme) > 0 {
+				extreme = v
+			}
+		}
+	}
+	var out table.Value
+	switch x.Fn {
+	case "min", "max":
+		out = extreme
+	case "sum":
+		out = table.NumberValue(sum)
+	case "avg":
+		out = table.NumberValue(sum / float64(len(in.Values)))
+	default:
+		return nil, fmt.Errorf("unknown aggregate %q", x.Fn)
+	}
+	return &Val{Kind: ScalarKind, Values: []table.Value{out}, Aggr: x.Fn, Cells: in.Cells}, nil
+}
+
+func (ex *executor) arith(x *Arith) (*Val, error) {
+	l, err := ex.run(x.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ex.run(x.R)
+	if err != nil {
+		return nil, err
+	}
+	lf, err := arithOperand(l, "left")
+	if err != nil {
+		return nil, err
+	}
+	rf, err := arithOperand(r, "right")
+	if err != nil {
+		return nil, err
+	}
+	var out float64
+	switch x.Op2 {
+	case "-":
+		out = lf - rf
+	case "+":
+		out = lf + rf
+	default:
+		return nil, fmt.Errorf("unknown arithmetic operator %q", x.Op2)
+	}
+	v := &Val{Kind: ScalarKind, Values: []table.Value{table.NumberValue(out)}}
+	if ex.trace {
+		v.Cells = table.DedupCells(append(append([]table.CellRef(nil), l.Cells...), r.Cells...))
+	}
+	return v, nil
+}
+
+func arithOperand(v *Val, side string) (float64, error) {
+	if len(v.Values) != 1 {
+		return 0, fmt.Errorf("%s operand of sub must be a single value, got %d", side, len(v.Values))
+	}
+	f, ok := v.Values[0].Float()
+	if !ok {
+		return 0, fmt.Errorf("%s operand of sub is not numeric: %q", side, v.Values[0])
+	}
+	return f, nil
+}
+
+// ---- SQL operators ----
+
+func (ex *executor) sqlProject(x *SQLProject) (*Val, error) {
+	in, err := ex.run(x.Input)
+	if err != nil {
+		return nil, err
+	}
+	t := ex.t
+	out := &Val{Kind: TableKind}
+	for _, it := range x.Items {
+		out.Cols = append(out.Cols, it.Label)
+	}
+	type keyed struct {
+		row  []table.Value
+		src  int
+		sort table.Value
+	}
+	result := make([]keyed, 0, len(in.Rows))
+	for _, r := range in.Rows {
+		vals := make([]table.Value, 0, len(x.Items))
+		for _, it := range x.Items {
+			switch {
+			case it.Col >= 0:
+				vals = append(vals, t.Value(r, it.Col))
+			case it.Index:
+				vals = append(vals, table.NumberValue(float64(r)))
+			default:
+				v, err := it.Fn(r)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, v)
+			}
+		}
+		k := keyed{row: vals, src: r}
+		if x.Order != nil {
+			switch {
+			case x.Order.Col >= 0:
+				k.sort = t.Value(r, x.Order.Col)
+			case x.Order.Index:
+				k.sort = table.NumberValue(float64(r))
+			default:
+				v, err := x.Order.Fn(r)
+				if err != nil {
+					return nil, err
+				}
+				k.sort = v
+			}
+		}
+		result = append(result, k)
+	}
+	if x.Order != nil {
+		sort.SliceStable(result, func(i, j int) bool {
+			c := result[i].sort.Compare(result[j].sort)
+			if x.Order.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+	}
+	for _, k := range result {
+		out.Data = append(out.Data, k.row)
+		out.Src = append(out.Src, k.src)
+	}
+	return out, nil
+}
+
+func (ex *executor) sqlAggregate(x *SQLAggregate) (*Val, error) {
+	in, err := ex.run(x.Input)
+	if err != nil {
+		return nil, err
+	}
+	// Build groups preserving first-appearance order.
+	var order []string
+	groups := make(map[string][]int)
+	if x.GroupCol < 0 {
+		groups[""] = in.Rows
+		order = []string{""}
+	} else {
+		keys := ex.t.ColumnKeys(x.GroupCol)
+		for _, r := range in.Rows {
+			k := keys[r]
+			if _, ok := groups[k]; !ok {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], r)
+		}
+	}
+	out := &Val{Kind: TableKind}
+	for _, it := range x.Items {
+		out.Cols = append(out.Cols, it.Label)
+	}
+	type keyed struct {
+		row  []table.Value
+		sort table.Value
+	}
+	result := make([]keyed, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		vals := make([]table.Value, 0, len(x.Items))
+		for _, it := range x.Items {
+			v, err := it.Fn(g)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+		}
+		kk := keyed{row: vals}
+		if x.Order != nil {
+			v, err := x.Order(g)
+			if err != nil {
+				return nil, err
+			}
+			kk.sort = v
+		}
+		result = append(result, kk)
+	}
+	if x.Order != nil {
+		sort.SliceStable(result, func(i, j int) bool {
+			c := result[i].sort.Compare(result[j].sort)
+			if x.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+	}
+	for _, kk := range result {
+		out.Data = append(out.Data, kk.row)
+		out.Src = append(out.Src, -1)
+	}
+	return out, nil
+}
+
+func rowKey(row []table.Value) string {
+	var b strings.Builder
+	for j, v := range row {
+		if j > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(v.Key())
+	}
+	return b.String()
+}
+
+func (ex *executor) distinct(x *Distinct) (*Val, error) {
+	in, err := ex.run(x.Input)
+	if err != nil {
+		return nil, err
+	}
+	out := &Val{Kind: TableKind, Cols: in.Cols}
+	seen := make(map[string]bool, len(in.Data))
+	for i := range in.Data {
+		k := rowKey(in.Data[i])
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Data = append(out.Data, in.Data[i])
+		out.Src = append(out.Src, in.Src[i])
+	}
+	return out, nil
+}
+
+func (ex *executor) limit(x *Limit) (*Val, error) {
+	in, err := ex.run(x.Input)
+	if err != nil {
+		return nil, err
+	}
+	if x.N >= 0 && len(in.Data) > x.N {
+		return &Val{Kind: TableKind, Cols: in.Cols, Data: in.Data[:x.N], Src: in.Src[:x.N]}, nil
+	}
+	return in, nil
+}
+
+func (ex *executor) sqlUnion(x *SQLUnion) (*Val, error) {
+	l, err := ex.run(x.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ex.run(x.R)
+	if err != nil {
+		return nil, err
+	}
+	if len(l.Cols) != len(r.Cols) {
+		return nil, fmt.Errorf("sql exec: UNION of incompatible widths %d and %d", len(l.Cols), len(r.Cols))
+	}
+	out := &Val{Kind: TableKind, Cols: l.Cols}
+	seen := make(map[string]bool)
+	appendRows := func(src *Val) {
+		for i := range src.Data {
+			k := rowKey(src.Data[i])
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out.Data = append(out.Data, src.Data[i])
+			out.Src = append(out.Src, src.Src[i])
+		}
+	}
+	appendRows(l)
+	appendRows(r)
+	return out, nil
+}
+
+func (ex *executor) sqlDiff(x *SQLDiff) (*Val, error) {
+	l, err := ex.scalarTable(x.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ex.scalarTable(x.R)
+	if err != nil {
+		return nil, err
+	}
+	lf, lok := l.Float()
+	rf, rok := r.Float()
+	if !lok || !rok {
+		return nil, fmt.Errorf("sql exec: difference of non-numeric values %q and %q", l, r)
+	}
+	return &Val{
+		Kind: TableKind,
+		Cols: []string{"diff"},
+		Data: [][]table.Value{{table.NumberValue(lf - rf)}},
+		Src:  []int{-1},
+	}, nil
+}
+
+// scalarTable executes a table-kind child that must produce exactly
+// one row and column, and returns that value.
+func (ex *executor) scalarTable(n Node) (table.Value, error) {
+	v, err := ex.run(n)
+	if err != nil {
+		return table.Value{}, err
+	}
+	if len(v.Data) != 1 || len(v.Data[0]) != 1 {
+		return table.Value{}, fmt.Errorf("sql exec: scalar subquery returned %dx%d result", len(v.Data), len(v.Cols))
+	}
+	return v.Data[0][0], nil
+}

@@ -1,0 +1,47 @@
+package plan
+
+import "nlexplain/internal/table"
+
+// Tracer is the provenance hook the executor calls at every operator
+// boundary. It factors witness-cell capture out of the query
+// executors: with an inactive tracer the executor skips all cell
+// bookkeeping (the answer-only fast path used for batch and parse
+// traffic); with an active tracer each operator computes its PO
+// witness cells and reports them through Operator, so a single
+// execution yields both the output provenance (the root's cells) and
+// the execution provenance PE (the union over all boundaries).
+//
+// The interface lives in this package only to break the import cycle
+// plan → provenance → dcs → plan; internal/provenance re-exports it
+// (provenance.Tracer) and provides the full PO-cell tracer used for
+// explanations.
+type Tracer interface {
+	// Active reports whether operators must compute witness cells.
+	// When false, Operator is never called.
+	Active() bool
+	// Operator is called after an operator finishes, with its name and
+	// its PO witness cells (sorted row-major, deduplicated).
+	Operator(op string, cells []table.CellRef)
+}
+
+// Noop is the inactive tracer: no witness cells are computed anywhere
+// in the plan, making execution a pure answer computation.
+type Noop struct{}
+
+// Active reports false: skip all cell bookkeeping.
+func (Noop) Active() bool { return false }
+
+// Operator is never called on an inactive tracer.
+func (Noop) Operator(string, []table.CellRef) {}
+
+// Capture enables witness-cell computation without accumulating
+// anything: the caller reads the root cells off the execution result.
+// This is what compatibility shims use to preserve the legacy
+// executor's Result.Cells contract.
+type Capture struct{}
+
+// Active reports true: operators compute witness cells.
+func (Capture) Active() bool { return true }
+
+// Operator ignores boundary reports; only the root cells matter.
+func (Capture) Operator(string, []table.CellRef) {}

@@ -56,6 +56,22 @@ func Highlight(q dcs.Expr, t *table.Table) (*Highlights, error) {
 	if err != nil {
 		return nil, err
 	}
+	return markProv(p), nil
+}
+
+// HighlightCompiled is Highlight for an already-compiled query,
+// skipping the recompilation for callers holding a cached plan. The
+// top-level execution Result is returned alongside the highlights so
+// the explanation pipeline gets both from one traced execution.
+func HighlightCompiled(c *dcs.Compiled, t *table.Table) (*Highlights, *dcs.Result, error) {
+	p, res, err := ComputeCompiled(c, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	return markProv(p), res, nil
+}
+
+func markProv(p *Prov) *Highlights {
 	h := &Highlights{Prov: p, marks: make(map[table.CellRef]Marking, len(p.Columns))}
 	for c := range p.Columns {
 		h.marks[c] = Lit
@@ -66,7 +82,7 @@ func Highlight(q dcs.Expr, t *table.Table) (*Highlights, error) {
 	for c := range p.Output {
 		h.marks[c] = Colored
 	}
-	return h, nil
+	return h
 }
 
 // Marking returns the marking of a cell.

@@ -43,12 +43,30 @@ type Prov struct {
 	HeaderAggrs map[int]dcs.AggrFn
 }
 
-// Compute evaluates the provenance of q on t. The query is executed once
-// per sub-formula, mirroring the recursive decomposition of Algorithm 1.
+// Compute evaluates the provenance of q on t with a single traced
+// execution of the compiled plan: the root's witness cells are PO
+// (Equation 1) and the CellTracer's union over all operator boundaries
+// is PE (Equation 2) — each plan operator corresponds to one
+// sub-formula of QSUB, so the union over boundaries equals the union
+// of PO over the recursive decomposition of Algorithm 1 without
+// re-executing every sub-query.
 func Compute(q dcs.Expr, t *table.Table) (*Prov, error) {
-	if err := dcs.Check(q, t); err != nil {
+	c, err := dcs.Compile(q, t)
+	if err != nil {
 		return nil, err
 	}
+	p, _, err := ComputeCompiled(c, t)
+	return p, err
+}
+
+// ComputeCompiled is Compute for an already-compiled query, letting
+// callers that cache compiled plans (the engine's plan LRU) skip the
+// recompilation; the source expression is read off the plan. The
+// traced execution's own Result is returned alongside the provenance
+// so callers needing both (the explanation pipeline) pay for exactly
+// one execution.
+func ComputeCompiled(c *dcs.Compiled, t *table.Table) (*Prov, *dcs.Result, error) {
+	q := c.Expr
 	p := &Prov{
 		Output:      make(table.CellSet),
 		Execution:   make(table.CellSet),
@@ -56,21 +74,13 @@ func Compute(q dcs.Expr, t *table.Table) (*Prov, error) {
 		HeaderAggrs: make(map[int]dcs.AggrFn),
 	}
 
-	// PO: the witness cells of the top-level execution (Equation 1).
-	top, err := dcs.Execute(q, t)
+	tr := NewCellTracer()
+	top, err := c.ExecuteWith(t, tr)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	p.Output.AddAll(top.Cells)
-
-	// PE: the union of PO over QSUB (Equation 2).
-	for _, sub := range dcs.Subqueries(q) {
-		r, err := dcs.Execute(sub, t)
-		if err != nil {
-			return nil, err
-		}
-		p.Execution.AddAll(r.Cells)
-	}
+	p.Execution.Union(tr.Cells)
 
 	// PC: all cells of every projected or aggregated column (Equation 3).
 	for _, colName := range dcs.Columns(q) {
@@ -105,7 +115,7 @@ func Compute(q dcs.Expr, t *table.Table) (*Prov, error) {
 			}
 		}
 	}
-	return p, nil
+	return p, top, nil
 }
 
 // aggregateHeaderColumn picks the header to mark for an aggregate node:

@@ -1,0 +1,42 @@
+package provenance
+
+import (
+	"nlexplain/internal/plan"
+	"nlexplain/internal/table"
+)
+
+// Tracer is the provenance hook the shared plan executor calls at
+// every operator boundary. The interface itself is declared in
+// internal/plan (the executor cannot import this package without a
+// cycle through dcs); this package owns its provenance-facing
+// implementations: NoopTracer for answer-only execution and
+// CellTracer, the full PO-cell tracer used for explanations.
+type Tracer = plan.Tracer
+
+// NoopTracer is the inactive tracer: the executor skips all witness
+// cell bookkeeping, the fast path for answer-only traffic.
+type NoopTracer = plan.Noop
+
+// CellTracer accumulates the union of every operator's PO witness
+// cells during one plan execution. Because plan operators correspond
+// one-to-one to query sub-expressions (and the rewriter only applies
+// PO-preserving rules), the accumulated union equals PE(Q,T) — the
+// union of PO over QSUB (Equation 2) — without re-executing each
+// sub-query.
+type CellTracer struct {
+	// Cells is the accumulated union; allocate with NewCellTracer.
+	Cells table.CellSet
+}
+
+// NewCellTracer returns a CellTracer with an empty accumulator.
+func NewCellTracer() *CellTracer {
+	return &CellTracer{Cells: make(table.CellSet)}
+}
+
+// Active reports true: every operator computes its witness cells.
+func (c *CellTracer) Active() bool { return true }
+
+// Operator folds one operator's witness cells into the union.
+func (c *CellTracer) Operator(_ string, cells []table.CellRef) {
+	c.Cells.AddAll(cells)
+}

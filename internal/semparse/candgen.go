@@ -146,7 +146,10 @@ func GenerateCandidates(q *Question, t *table.Table) []*Candidate {
 		if dcs.Check(e, t) != nil {
 			continue
 		}
-		res, err := dcs.Execute(e, t)
+		// Answer-only fast path: candidate results feed ranking and
+		// gold-answer comparison, never highlights, so witness-cell
+		// capture would be pure overhead on this hot loop.
+		res, err := dcs.ExecuteAnswer(e, t)
 		if err != nil {
 			continue // dynamic type errors: not a viable candidate
 		}

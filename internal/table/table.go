@@ -39,6 +39,11 @@ type Table struct {
 	kb []map[string][]int
 	// colIndex resolves a (case-insensitive) header to a column index.
 	colIndex map[string]int
+	// cols is the eagerly built columnar view (keys and numeric
+	// vectors) the plan executor scans instead of the boxed rows.
+	cols []columnData
+	// numIdx holds the lazily built per-column sorted numeric indexes.
+	numIdx []*numericIndex
 }
 
 // New builds a table from a name, header row and raw cell text. Every row
@@ -73,6 +78,7 @@ func New(name string, columns []string, rows [][]string) (*Table, error) {
 		t.raw[r] = append([]string(nil), row...)
 	}
 	t.buildKB()
+	t.buildColumns()
 	return t, nil
 }
 
@@ -166,6 +172,13 @@ func (t *Table) RecordsWhere(col int, v Value) []int {
 	return append([]int(nil), rows...)
 }
 
+// RowsForKey returns the KB posting list of a canonical key (Value.Key)
+// in column col, in record order. Unlike RecordsWhere it does not copy:
+// the slice is shared with the table and must not be modified.
+func (t *Table) RowsForKey(col int, key string) []int {
+	return t.kb[col][key]
+}
+
 // ColumnCells returns the cell references of every cell in column col,
 // in record order. This is the PC provenance primitive.
 func (t *Table) ColumnCells(col int) []CellRef {
@@ -196,6 +209,36 @@ func (t *Table) DistinctColumnValues(col int) []Value {
 func SortCells(cells []CellRef) []CellRef {
 	sort.Slice(cells, func(i, j int) bool { return cells[i].Less(cells[j]) })
 	return cells
+}
+
+// DedupCells returns the distinct cells of the slice, sorted
+// row-major — the canonical witness-cell form shared by the plan
+// executor and the legacy interpreters.
+func DedupCells(cells []CellRef) []CellRef {
+	seen := make(map[CellRef]bool, len(cells))
+	out := cells[:0:0]
+	for _, c := range cells {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return SortCells(out)
+}
+
+// DedupValues keeps the first occurrence of each distinct value (by
+// canonical key), preserving order — the set semantics of lambda DCS
+// unaries.
+func DedupValues(vals []Value) []Value {
+	seen := make(map[string]bool, len(vals))
+	out := vals[:0:0]
+	for _, v := range vals {
+		if k := v.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // String renders the table as aligned plain text (for debugging and docs).

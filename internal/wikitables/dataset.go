@@ -151,7 +151,7 @@ func genExample(rng *rand.Rand, t *table.Table, d Domain, id int) (*semparse.Exa
 		if !ok {
 			continue
 		}
-		res, err := dcs.Execute(gold, t)
+		res, err := dcs.ExecuteAnswer(gold, t)
 		if err != nil || res.Empty() {
 			continue
 		}

@@ -134,8 +134,16 @@ func TableFromCSV(name string, r io.Reader) (*Table, error) {
 // syntax, e.g. "max(R[Year].Country.Greece)".
 func ParseQuery(src string) (Query, error) { return dcs.Parse(src) }
 
-// ExecuteQuery checks and evaluates a query against a table.
+// ExecuteQuery checks and evaluates a query against a table. The
+// query compiles into the shared relational plan core (internal/plan)
+// and runs with witness-cell capture on, so the Result carries the PO
+// provenance cells.
 func ExecuteQuery(q Query, t *Table) (*Result, error) { return dcs.Execute(q, t) }
+
+// ExecuteQueryAnswer is ExecuteQuery on the answer-only fast path: no
+// witness cells are computed, which is measurably faster when only the
+// denotation matters (batch answering, gold-answer comparison).
+func ExecuteQueryAnswer(q Query, t *Table) (*Result, error) { return dcs.ExecuteAnswer(q, t) }
 
 // ToSQL translates a query to SQL over the table "T" (the Table 10
 // mapping).
