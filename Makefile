@@ -1,9 +1,21 @@
 # CI and humans invoke the same targets: .github/workflows/ci.yml runs
-# build, vet, fmt, test and bench through this file.
+# build, vet, fmt, test, cover, bench and perf-gate through this file.
 
 GO ?= go
 
-.PHONY: all build test vet fmt bench serve ci
+# COVERAGE_FLOOR is the minimum total statement coverage (percent)
+# `make cover` accepts; CI fails below it. Raise it as coverage grows,
+# never lower it to make a PR pass.
+COVERAGE_FLOOR = 65
+
+# Perf-gate knobs: the checked-in baseline and the tolerances CI
+# compares with. Tolerances are deliberately generous (CI machines are
+# noisy): the gate catches step-change regressions, not jitter.
+PERF_BASELINE = bench_baseline.json
+PERF_REPORT   = bench_report.json
+PERF_FLAGS    = -max-p50-ratio 4 -max-p99-ratio 4 -min-throughput-ratio 0.2
+
+.PHONY: all build test vet fmt cover bench baseline perf-gate serve ci
 
 all: build
 
@@ -23,15 +35,38 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# cover writes coverage.out (uploaded as a CI artifact) and enforces
+# the COVERAGE_FLOOR on total statement coverage. It runs under the
+# race detector, so `make ci` gets race checking and coverage from one
+# test-suite execution instead of two.
+cover:
+	$(GO) test -race -count=1 -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVERAGE_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVERAGE_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% is below the $(COVERAGE_FLOOR)% floor"; exit 1; }
+
 # bench smoke-runs every benchmark once; -benchtime=1x keeps it cheap
 # enough for CI while still executing each pipeline end to end. The
-# output lands in bench.out so CI can upload it as an artifact and the
-# perf trajectory (plan vs interpreted execution) stays recorded.
+# output lands in bench.out (gitignored) so CI can upload it as an
+# artifact and the perf trajectory stays recorded.
 bench:
 	@$(GO) test -run='^$$' -bench=. -benchtime=1x ./... > bench.out 2>&1 || { cat bench.out; exit 1; }
 	@cat bench.out
+	@echo "benchstat-friendly output written to $$(pwd)/bench.out"
+
+# baseline regenerates the checked-in perf-gate baseline with the
+# CI-canonical workload (seed 1, mixed traffic, op-count bound).
+baseline:
+	$(GO) run ./cmd/wtq-bench baseline -out $(PERF_BASELINE)
+
+# perf-gate reproduces the CI job locally: run the canonical workload,
+# then diff the fresh report against the checked-in baseline.
+perf-gate:
+	$(GO) run ./cmd/wtq-bench run -seed 1 -mix mixed -ops 600 -workers 4 -out $(PERF_REPORT)
+	$(GO) run ./cmd/wtq-bench compare $(PERF_FLAGS) $(PERF_BASELINE) $(PERF_REPORT)
 
 serve:
 	$(GO) run ./cmd/wtq-server -demo
 
-ci: build vet fmt test bench
+ci: build vet fmt cover bench perf-gate

@@ -1,0 +1,210 @@
+// Command wtq-bench generates reproducible query workloads, drives
+// them at an explanation engine (in-process or a live wtq-server over
+// HTTP) and gates on performance regressions between two runs.
+//
+// Subcommands:
+//
+//	run       drive a workload and write a JSON report
+//	baseline  run with the CI-canonical settings and write bench_baseline.json
+//	compare   diff a fresh report against a baseline; exit 1 on regression
+//
+// Examples:
+//
+//	wtq-bench run -seed 1 -mix superlative -duration 2s -out report.json
+//	wtq-bench run -mix mixed -ops 600 -target http://localhost:8080
+//	wtq-bench baseline
+//	wtq-bench compare -max-p99-ratio 1.5 bench_baseline.json report.json
+//
+// The generated query set is a pure function of (seed, mix): the same
+// seed yields byte-identical queries on any machine, and each report
+// records the op-set hash so compare refuses to diff reports from
+// different generators. CI (.github/workflows/ci.yml, job perf-gate)
+// runs `run` + `compare` against the checked-in bench_baseline.json
+// with generous tolerances — the gate exists to catch step-change
+// regressions, not scheduler jitter.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"nlexplain/internal/engine"
+	"nlexplain/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+const usage = `usage: wtq-bench <run|baseline|compare> [flags]
+
+  run       drive a workload and write a JSON report
+  baseline  run with CI-canonical settings, writing bench_baseline.json
+  compare   diff two reports (baseline, current); exit 1 on regression
+
+run 'wtq-bench <subcommand> -h' for flags`
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, usage)
+		return 2
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:], runDefaults{seed: 1, mix: "mixed", out: "bench_report.json"}, stdout, stderr)
+	case "baseline":
+		// The CI-canonical run: op-count bound (not wall-clock bound) so
+		// two machines execute the identical op multiset.
+		return cmdRun(args[1:], runDefaults{seed: 1, mix: "mixed", ops: 600, workers: 4, out: "bench_baseline.json"}, stdout, stderr)
+	case "compare":
+		return cmdCompare(args[1:], stdout, stderr)
+	case "-h", "--help", "help":
+		fmt.Fprintln(stdout, usage)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "wtq-bench: unknown subcommand %q\n%s\n", args[0], usage)
+		return 2
+	}
+}
+
+// runDefaults parameterize cmdRun so `baseline` is `run` with the
+// CI-canonical settings pre-filled.
+type runDefaults struct {
+	seed    int64
+	mix     string
+	ops     int
+	workers int
+	out     string
+}
+
+func cmdRun(args []string, def runDefaults, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", def.seed, "workload seed; same seed -> same queries")
+	mixName := fs.String("mix", def.mix, "traffic mix, one of:"+workload.MixSummaries())
+	duration := fs.Duration("duration", 0, "wall-clock bound for the run (0 = use -ops)")
+	ops := fs.Int("ops", def.ops, "op-count bound for the run (0 = use -duration)")
+	genOps := fs.Int("gen-ops", 512, "size of the pregenerated op set the driver cycles through")
+	workers := fs.Int("workers", defInt(def.workers, 8), "closed-loop driver concurrency")
+	qps := fs.Float64("qps", 0, "open-loop arrival rate (0 = closed loop)")
+	opTimeout := fs.Duration("op-timeout", 30*time.Second, "driver-side deadline per op")
+	target := fs.String("target", "inproc", `"inproc" or a wtq-server base URL (http://host:port)`)
+	out := fs.String("out", def.out, "report output path")
+	engineWorkers := fs.Int("engine-workers", 0, "in-process engine worker pool size (0 = GOMAXPROCS)")
+	enginePending := fs.Int("engine-pending", 0, "in-process engine admission queue bound (0 = default)")
+	engineCache := fs.Int("engine-cache", 0, "in-process engine LRU entries per cache (0 = default)")
+	engineTimeout := fs.Duration("engine-timeout", 0, "in-process engine per-query timeout (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *duration <= 0 && *ops <= 0 {
+		*ops = 512
+	}
+	mix, ok := workload.MixByName(*mixName)
+	if !ok {
+		fmt.Fprintf(stderr, "wtq-bench: unknown mix %q (have: %s)\n", *mixName, strings.Join(workload.MixNames(), ", "))
+		return 2
+	}
+
+	corpus, opSet := workload.Generate(*seed, mix, *genOps)
+	var tgt workload.Target
+	if *target == "inproc" {
+		tgt = workload.NewInProc(engine.Options{
+			Workers:      *engineWorkers,
+			MaxPending:   *enginePending,
+			CacheSize:    *engineCache,
+			QueryTimeout: *engineTimeout,
+		})
+	} else {
+		tgt = workload.NewHTTPTarget(strings.TrimRight(*target, "/"))
+	}
+	defer tgt.Close()
+
+	rep, err := workload.Run(context.Background(), tgt, corpus, opSet, workload.Options{
+		Workers:   *workers,
+		Duration:  *duration,
+		MaxOps:    *ops,
+		QPS:       *qps,
+		OpTimeout: *opTimeout,
+		Seed:      *seed,
+		MixName:   mix.Name,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "wtq-bench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, rep.Summary())
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			fmt.Fprintf(stderr, "wtq-bench: writing report: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "report written to %s\n", *out)
+	}
+	return 0
+}
+
+func defInt(v, d int) int {
+	if v > 0 {
+		return v
+	}
+	return d
+}
+
+func cmdCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	maxP50 := fs.Float64("max-p50-ratio", 0, "max current/baseline p50 latency ratio (0 = default 1.5)")
+	maxP99 := fs.Float64("max-p99-ratio", 0, "max current/baseline p99 latency ratio (0 = default 1.5)")
+	minTput := fs.Float64("min-throughput-ratio", 0, "min current/baseline throughput ratio (0 = default 0.5)")
+	maxErr := fs.Float64("max-error-rate-delta", 0, "max absolute error-rate increase (0 = default 0.02)")
+	maxShed := fs.Float64("max-shed-rate-delta", 0, "max absolute shed+timeout-rate increase (0 = default 0.02)")
+	maxCache := fs.Float64("max-cache-hit-drop", 0, "max absolute cache-hit-ratio drop (0 = default 0.15)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: wtq-bench compare [flags] baseline.json current.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	base, err := workload.ReadReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "wtq-bench: baseline: %v\n", err)
+		return 2
+	}
+	cur, err := workload.ReadReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "wtq-bench: current: %v\n", err)
+		return 2
+	}
+	tol := workload.Tolerances{
+		MaxP50Ratio:        *maxP50,
+		MaxP99Ratio:        *maxP99,
+		MinThroughputRatio: *minTput,
+		MaxErrorRateDelta:  *maxErr,
+		MaxShedRateDelta:   *maxShed,
+		MaxCacheHitDrop:    *maxCache,
+	}
+	vs := workload.Compare(base, cur, tol)
+	fmt.Fprintf(stdout, "baseline: %s\ncurrent:  %s\n", summaryLine(base), summaryLine(cur))
+	if len(vs) == 0 {
+		fmt.Fprintln(stdout, "OK: no performance regression beyond tolerances")
+		return 0
+	}
+	fmt.Fprintf(stdout, "FAIL: %d regression(s):\n%s\n", len(vs), workload.FormatViolations(vs))
+	return 1
+}
+
+func summaryLine(r *workload.Report) string {
+	return fmt.Sprintf("mix=%s seed=%d ops=%d p50=%.3fms p99=%.3fms tput=%.1f/s err=%d shed=%d",
+		r.Mix, r.Seed, r.TotalOps, r.Latency.P50Ms, r.Latency.P99Ms, r.Throughput, r.Errors, r.Sheds)
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nlexplain/internal/workload"
+)
+
+// runBench invokes the CLI in-process and returns (exit, stdout, stderr).
+func runBench(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunWritesDeterministicReport(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	for _, path := range []string{a, b} {
+		code, stdout, stderr := runBench(t,
+			"run", "-seed", "1", "-mix", "superlative", "-ops", "64", "-gen-ops", "32", "-workers", "2", "-out", path)
+		if code != 0 {
+			t.Fatalf("run exited %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+		}
+		if !strings.Contains(stdout, "report written to "+path) {
+			t.Fatalf("run did not announce the report path:\n%s", stdout)
+		}
+	}
+	ra, err := workload.ReadReport(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := workload.ReadReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.OpSetHash != rb.OpSetHash {
+		t.Fatalf("same seed produced different op sets: %s vs %s", ra.OpSetHash, rb.OpSetHash)
+	}
+	if ra.TotalOps != 64 || rb.TotalOps != 64 {
+		t.Fatalf("op counts differ from -ops: %d, %d", ra.TotalOps, rb.TotalOps)
+	}
+	if ra.Latency.P50Ms <= 0 || ra.Latency.P99Ms <= 0 {
+		t.Fatalf("report lacks latency quantiles: %+v", ra.Latency)
+	}
+	// Sheds/timeouts are zero on this gentle run but the fields (and
+	// class counts) must be present in the serialized report.
+	raw, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"p50_ms"`, `"p99_ms"`, `"sheds"`, `"timeouts"`, `"errors"`, `"counts"`, `"op_set_hash"`} {
+		if !bytes.Contains(raw, []byte(key)) {
+			t.Fatalf("report JSON lacks %s:\n%s", key, raw)
+		}
+	}
+}
+
+func TestCompareDetectsInflatedP99(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	code, _, stderr := runBench(t,
+		"run", "-seed", "1", "-mix", "mixed", "-ops", "96", "-gen-ops", "48", "-workers", "2", "-out", base)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, stderr)
+	}
+
+	// Identical reports: no regression.
+	code, stdout, _ := runBench(t, "compare", base, base)
+	if code != 0 || !strings.Contains(stdout, "OK") {
+		t.Fatalf("self-compare exited %d:\n%s", code, stdout)
+	}
+
+	// Inflate p99 beyond tolerance: must exit non-zero.
+	rep, err := workload.ReadReport(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Latency.P99Ms = rep.Latency.P99Ms*10 + 100
+	inflated := filepath.Join(dir, "inflated.json")
+	buf, _ := json.Marshal(rep)
+	if err := os.WriteFile(inflated, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = runBench(t, "compare", base, inflated)
+	if code != 1 {
+		t.Fatalf("inflated p99 compare exited %d, want 1:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "latency_p99_ms") {
+		t.Fatalf("violation does not name p99:\n%s", stdout)
+	}
+
+	// Generous tolerance flag waves the same report through.
+	code, stdout, _ = runBench(t, "compare", "-max-p99-ratio", "1e9", base, inflated)
+	if code != 0 {
+		t.Fatalf("tolerant compare exited %d:\n%s", code, stdout)
+	}
+}
+
+func TestCompareRejectsMismatchedRuns(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	if code, _, stderr := runBench(t, "run", "-seed", "1", "-mix", "sql", "-ops", "32", "-gen-ops", "16", "-workers", "2", "-out", a); code != 0 {
+		t.Fatalf("run a: %s", stderr)
+	}
+	if code, _, stderr := runBench(t, "run", "-seed", "2", "-mix", "sql", "-ops", "32", "-gen-ops", "16", "-workers", "2", "-out", b); code != 0 {
+		t.Fatalf("run b: %s", stderr)
+	}
+	code, stdout, _ := runBench(t, "compare", a, b)
+	if code != 1 || !strings.Contains(stdout, "run_shape") {
+		t.Fatalf("mismatched-seed compare exited %d:\n%s", code, stdout)
+	}
+}
+
+func TestUsageAndBadSubcommand(t *testing.T) {
+	if code, _, _ := runBench(t); code != 2 {
+		t.Fatal("bare invocation must exit 2")
+	}
+	if code, _, stderr := runBench(t, "frobnicate"); code != 2 || !strings.Contains(stderr, "unknown subcommand") {
+		t.Fatalf("unknown subcommand handling wrong: %s", stderr)
+	}
+	if code, _, stderr := runBench(t, "run", "-mix", "nope", "-ops", "1"); code != 2 || !strings.Contains(stderr, "unknown mix") {
+		t.Fatalf("unknown mix handling wrong: %s", stderr)
+	}
+}

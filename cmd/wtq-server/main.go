@@ -9,6 +9,7 @@
 //	GET  /v1/tables        list registered tables
 //	POST /v1/explain       {table, query} -> utterance + highlights + provenance
 //	POST /v1/explain/batch {queries: [{table, query}...], timeout_ms} -> in-order results
+//	POST /v1/answer        {table, query} -> denotation only (answer-only fast path)
 //	POST /v1/parse         {table, question, top_k} -> ranked candidate queries
 //	GET  /v1/healthz       liveness + table count
 //	GET  /v1/stats         engine counters for scraping
@@ -45,6 +46,7 @@ func newMux(e *nlexplain.Engine) *http.ServeMux {
 	mux.HandleFunc("GET /v1/tables", s.handleListTables)
 	mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	mux.HandleFunc("POST /v1/explain/batch", s.handleExplainBatch)
+	mux.HandleFunc("POST /v1/answer", s.handleAnswer)
 	mux.HandleFunc("POST /v1/parse", s.handleParse)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -221,6 +223,27 @@ func (s *server) handleExplainBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = item
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+type answerResponse struct {
+	*nlexplain.EngineAnswer
+	Cached bool `json:"cached"`
+}
+
+// handleAnswer serves the answer-only fast path: the query's denotation
+// without provenance, highlights or an utterance — the cheap endpoint
+// load generators and gold-answer checkers should hit.
+func (s *server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	var req explainRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	ans, cached, err := s.engine.ExplainAnswer(r.Context(), req.Table, req.Query)
+	if err != nil {
+		writeError(w, errStatus(err), "%s", errMessage(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, answerResponse{EngineAnswer: ans, Cached: cached})
 }
 
 type parseRequest struct {

@@ -24,6 +24,7 @@ import (
 
 	"nlexplain/internal/dcs"
 	"nlexplain/internal/export"
+	"nlexplain/internal/plan"
 	"nlexplain/internal/provenance"
 	"nlexplain/internal/render"
 	"nlexplain/internal/semparse"
@@ -110,6 +111,7 @@ type Engine struct {
 	asts       *lruCache // query string -> dcs.Expr
 	plans      *lruCache // table version + query -> *dcs.Compiled
 	results    *lruCache // table version + query -> *Explanation
+	answers    *lruCache // table version + query -> *Answer
 	parseCache *lruCache // table version + question -> []*semparse.Candidate
 
 	// inflight deduplicates concurrent computations of the same cache
@@ -131,6 +133,7 @@ func New(opts Options) *Engine {
 		asts:       newLRU(opts.CacheSize),
 		plans:      newLRU(opts.CacheSize),
 		results:    newLRU(opts.CacheSize),
+		answers:    newLRU(opts.CacheSize),
 		parseCache: newLRU(opts.CacheSize),
 		inflight:   make(map[string]*inflightCall),
 		sem:        make(chan struct{}, opts.Workers),
@@ -417,6 +420,85 @@ func (e *Engine) explain(ctx context.Context, tableName, query string) (*Explana
 		}
 		return call.val.(*Explanation), false, nil
 	}
+}
+
+// Answer is the answer-only pipeline output for one query on one
+// registered table: the denotation string without witness cells,
+// highlights or an utterance. Cached instances are shared across
+// requests: treat as immutable.
+type Answer struct {
+	Table   string `json:"table"`
+	Version string `json:"version"`
+	Query   string `json:"query"`
+	Result  string `json:"result"`
+}
+
+// ExplainAnswer runs the answer-only fast path for one query over a
+// registered table: parse through the AST cache, compile through the
+// plan cache, then execute under an inactive tracer, skipping every
+// witness-cell, provenance and utterance computation. It shares the
+// engine's worker pool, admission queue (ErrOverloaded applies) and
+// in-flight deduplication with Explain, plus its own result LRU. The
+// second return reports whether the answer came from that cache.
+func (e *Engine) ExplainAnswer(ctx context.Context, tableName, query string) (*Answer, bool, error) {
+	e.mu.RLock()
+	entry, ok := e.tables[tableName]
+	e.mu.RUnlock()
+	if !ok {
+		e.ctr.errors.Add(1)
+		return nil, false, fmt.Errorf("%w: %q", ErrUnknownTable, tableName)
+	}
+	key := "answer\x00" + entry.version + "\x00" + query
+	if v, ok := e.answers.get(key); ok {
+		e.ctr.answerHits.Add(1)
+		return v.(*Answer), true, nil
+	}
+	e.ctr.answerMisses.Add(1)
+	ctx, cancel := e.withDefaultDeadline(ctx)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		e.countCtxErr(err)
+		return nil, false, err
+	}
+	call, leader := e.joinInflight(key)
+	if leader {
+		e.startPipeline(key, call,
+			func() (any, error) { return e.computeAnswer(entry, tableName, query) },
+			func(v any) { e.answers.put(key, v) })
+	}
+	select {
+	case <-ctx.Done():
+		e.countCtxErr(ctx.Err())
+		return nil, false, ctx.Err()
+	case <-call.done:
+		if call.err != nil {
+			e.ctr.errors.Add(1)
+			return nil, false, call.err
+		}
+		return call.val.(*Answer), false, nil
+	}
+}
+
+// computeAnswer runs the uncached answer-only path: shared AST and
+// plan caches, then execution with witness capture off.
+func (e *Engine) computeAnswer(entry *tableEntry, tableName, query string) (*Answer, error) {
+	start := time.Now()
+	q, err := e.parseQuery(query)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %q: %w", query, err)
+	}
+	c, err := e.compiledPlan(entry, q, query)
+	if err != nil {
+		return nil, fmt.Errorf("compiling %s on %s: %w", q, tableName, err)
+	}
+	res, err := c.ExecuteWith(entry.t, plan.Noop{})
+	if err != nil {
+		return nil, fmt.Errorf("answering %s on %s: %w", q, tableName, err)
+	}
+	ans := &Answer{Table: tableName, Version: entry.version, Query: query, Result: res.String()}
+	e.ctr.answersComputed.Add(1)
+	e.ctr.latencyNanos.Add(uint64(time.Since(start)))
+	return ans, nil
 }
 
 // inflightCall is one deduplicated computation; followers block on done.

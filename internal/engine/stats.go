@@ -14,39 +14,49 @@ type counters struct {
 	resultMisses atomic.Uint64
 	parseHits    atomic.Uint64
 	parseMisses  atomic.Uint64
+	answerHits   atomic.Uint64
+	answerMisses atomic.Uint64
 	executions   atomic.Uint64
-	errors       atomic.Uint64
-	timeouts     atomic.Uint64
-	sheds        atomic.Uint64
-	batches      atomic.Uint64
-	parses       atomic.Uint64
-	latencyNanos atomic.Uint64 // cumulative pipeline compute time
+	// answersComputed counts uncached answer-only executions; together
+	// with executions it is the denominator of the average compute
+	// latency.
+	answersComputed atomic.Uint64
+	errors          atomic.Uint64
+	timeouts        atomic.Uint64
+	sheds           atomic.Uint64
+	batches         atomic.Uint64
+	parses          atomic.Uint64
+	latencyNanos    atomic.Uint64 // cumulative pipeline compute time (explain + answer)
 }
 
 // Stats is a JSON-ready snapshot of the engine's counters, served by
 // wtq-server's GET /v1/stats for scraping.
 type Stats struct {
-	Tables         int     `json:"tables"`
-	ASTCacheSize   int     `json:"ast_cache_size"`
-	PlanCacheSize  int     `json:"plan_cache_size"`
-	ResultCache    int     `json:"result_cache_size"`
-	ParseCacheSize int     `json:"parse_cache_size"`
-	ASTHits        uint64  `json:"ast_hits"`
-	ASTMisses      uint64  `json:"ast_misses"`
-	PlanHits       uint64  `json:"plan_hits"`
-	PlanMisses     uint64  `json:"plan_misses"`
-	ResultHits     uint64  `json:"result_hits"`
-	ResultMisses   uint64  `json:"result_misses"`
-	ParseHits      uint64  `json:"parse_hits"`
-	ParseMisses    uint64  `json:"parse_misses"`
-	Executions     uint64  `json:"executions"`
-	Errors         uint64  `json:"errors"`
-	Timeouts       uint64  `json:"timeouts"`
-	Sheds          uint64  `json:"sheds"`
-	Batches        uint64  `json:"batches"`
-	Parses         uint64  `json:"parses"`
-	AvgLatencyMs   float64 `json:"avg_latency_ms"`
-	TotalLatencyS  float64 `json:"total_latency_s"`
+	Tables          int     `json:"tables"`
+	ASTCacheSize    int     `json:"ast_cache_size"`
+	PlanCacheSize   int     `json:"plan_cache_size"`
+	ResultCache     int     `json:"result_cache_size"`
+	AnswerCacheSize int     `json:"answer_cache_size"`
+	ParseCacheSize  int     `json:"parse_cache_size"`
+	ASTHits         uint64  `json:"ast_hits"`
+	ASTMisses       uint64  `json:"ast_misses"`
+	PlanHits        uint64  `json:"plan_hits"`
+	PlanMisses      uint64  `json:"plan_misses"`
+	ResultHits      uint64  `json:"result_hits"`
+	ResultMisses    uint64  `json:"result_misses"`
+	AnswerHits      uint64  `json:"answer_hits"`
+	AnswerMisses    uint64  `json:"answer_misses"`
+	ParseHits       uint64  `json:"parse_hits"`
+	ParseMisses     uint64  `json:"parse_misses"`
+	Executions      uint64  `json:"executions"`
+	Answers         uint64  `json:"answers"`
+	Errors          uint64  `json:"errors"`
+	Timeouts        uint64  `json:"timeouts"`
+	Sheds           uint64  `json:"sheds"`
+	Batches         uint64  `json:"batches"`
+	Parses          uint64  `json:"parses"`
+	AvgLatencyMs    float64 `json:"avg_latency_ms"`
+	TotalLatencyS   float64 `json:"total_latency_s"`
 }
 
 // Stats snapshots the engine's counters and cache sizes.
@@ -55,31 +65,36 @@ func (e *Engine) Stats() Stats {
 	tables := len(e.tables)
 	e.mu.RUnlock()
 	execs := e.ctr.executions.Load()
+	answers := e.ctr.answersComputed.Load()
 	nanos := e.ctr.latencyNanos.Load()
 	s := Stats{
-		Tables:         tables,
-		ASTCacheSize:   e.asts.len(),
-		PlanCacheSize:  e.plans.len(),
-		ResultCache:    e.results.len(),
-		ParseCacheSize: e.parseCache.len(),
-		ASTHits:        e.ctr.astHits.Load(),
-		ASTMisses:      e.ctr.astMisses.Load(),
-		PlanHits:       e.ctr.planHits.Load(),
-		PlanMisses:     e.ctr.planMisses.Load(),
-		ResultHits:     e.ctr.resultHits.Load(),
-		ResultMisses:   e.ctr.resultMisses.Load(),
-		ParseHits:      e.ctr.parseHits.Load(),
-		ParseMisses:    e.ctr.parseMisses.Load(),
-		Executions:     execs,
-		Errors:         e.ctr.errors.Load(),
-		Timeouts:       e.ctr.timeouts.Load(),
-		Sheds:          e.ctr.sheds.Load(),
-		Batches:        e.ctr.batches.Load(),
-		Parses:         e.ctr.parses.Load(),
-		TotalLatencyS:  float64(nanos) / 1e9,
+		Tables:          tables,
+		ASTCacheSize:    e.asts.len(),
+		PlanCacheSize:   e.plans.len(),
+		ResultCache:     e.results.len(),
+		AnswerCacheSize: e.answers.len(),
+		ParseCacheSize:  e.parseCache.len(),
+		ASTHits:         e.ctr.astHits.Load(),
+		ASTMisses:       e.ctr.astMisses.Load(),
+		PlanHits:        e.ctr.planHits.Load(),
+		PlanMisses:      e.ctr.planMisses.Load(),
+		ResultHits:      e.ctr.resultHits.Load(),
+		ResultMisses:    e.ctr.resultMisses.Load(),
+		AnswerHits:      e.ctr.answerHits.Load(),
+		AnswerMisses:    e.ctr.answerMisses.Load(),
+		ParseHits:       e.ctr.parseHits.Load(),
+		ParseMisses:     e.ctr.parseMisses.Load(),
+		Executions:      execs,
+		Answers:         answers,
+		Errors:          e.ctr.errors.Load(),
+		Timeouts:        e.ctr.timeouts.Load(),
+		Sheds:           e.ctr.sheds.Load(),
+		Batches:         e.ctr.batches.Load(),
+		Parses:          e.ctr.parses.Load(),
+		TotalLatencyS:   float64(nanos) / 1e9,
 	}
-	if execs > 0 {
-		s.AvgLatencyMs = float64(nanos) / float64(execs) / 1e6
+	if computed := execs + answers; computed > 0 {
+		s.AvgLatencyMs = float64(nanos) / float64(computed) / 1e6
 	}
 	return s
 }

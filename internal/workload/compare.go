@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tolerances bounds how much a fresh report may regress from a
+// baseline before Compare flags it. Zero fields take the defaults
+// below — deliberately generous, because CI machines are noisy: the
+// gate is meant to catch step-change regressions (a 2x plan-core
+// slowdown), not 5% jitter.
+type Tolerances struct {
+	// MaxP50Ratio / MaxP99Ratio cap current/baseline latency ratios.
+	// Defaults 1.5.
+	MaxP50Ratio float64
+	MaxP99Ratio float64
+	// MinThroughputRatio floors current/baseline throughput. Default 0.5.
+	MinThroughputRatio float64
+	// MaxErrorRateDelta caps the absolute increase in the error
+	// fraction (client + internal + transport). Default 0.02.
+	MaxErrorRateDelta float64
+	// MaxShedRateDelta caps the absolute increase in the shed+timeout
+	// fraction. Default 0.02.
+	MaxShedRateDelta float64
+	// MaxCacheHitDrop caps the absolute drop in cache hit ratio.
+	// Default 0.15.
+	MaxCacheHitDrop float64
+	// MinLatencyFloorMs mutes latency ratio checks when both sides are
+	// below this floor (sub-jitter measurements carry no signal).
+	// Default 0.05ms.
+	MinLatencyFloorMs float64
+}
+
+func (t Tolerances) withDefaults() Tolerances {
+	def := func(v *float64, d float64) {
+		if *v <= 0 {
+			*v = d
+		}
+	}
+	def(&t.MaxP50Ratio, 1.5)
+	def(&t.MaxP99Ratio, 1.5)
+	def(&t.MinThroughputRatio, 0.5)
+	def(&t.MaxErrorRateDelta, 0.02)
+	def(&t.MaxShedRateDelta, 0.02)
+	def(&t.MaxCacheHitDrop, 0.15)
+	def(&t.MinLatencyFloorMs, 0.05)
+	return t
+}
+
+// Violation is one tolerated bound a fresh report broke.
+type Violation struct {
+	Metric   string  `json:"metric"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	Limit    float64 `json:"limit"`
+	Detail   string  `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: baseline=%.4f current=%.4f limit=%.4f (%s)", v.Metric, v.Baseline, v.Current, v.Limit, v.Detail)
+}
+
+// FormatViolations renders one violation per line.
+func FormatViolations(vs []Violation) string {
+	lines := make([]string, len(vs))
+	for i, v := range vs {
+		lines[i] = "  REGRESSION " + v.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// rate is a safe fraction of a report's total ops.
+func rate(count, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(count) / float64(total)
+}
+
+// Compare diffs a fresh report against a baseline under the given
+// tolerances and returns every violated bound (empty = no regression).
+// Only run-shape-compatible reports compare meaningfully; mismatched
+// mix/seed is itself reported as a violation so a stale baseline can
+// never silently pass.
+func Compare(baseline, current *Report, tol Tolerances) []Violation {
+	tol = tol.withDefaults()
+	var out []Violation
+	add := func(metric string, base, cur, limit float64, detail string) {
+		out = append(out, Violation{Metric: metric, Baseline: base, Current: cur, Limit: limit, Detail: detail})
+	}
+
+	if baseline.Mix != current.Mix || baseline.Seed != current.Seed ||
+		baseline.Workers != current.Workers || baseline.QPS != current.QPS ||
+		baseline.OpSetSize != current.OpSetSize {
+		add("run_shape", 0, 0, 0, fmt.Sprintf(
+			"baseline is mix=%s seed=%d workers=%d qps=%g op_set=%d but current is mix=%s seed=%d workers=%d qps=%g op_set=%d",
+			baseline.Mix, baseline.Seed, baseline.Workers, baseline.QPS, baseline.OpSetSize,
+			current.Mix, current.Seed, current.Workers, current.QPS, current.OpSetSize))
+		return out
+	}
+	if baseline.OpSetHash != "" && current.OpSetHash != "" && baseline.OpSetHash != current.OpSetHash {
+		add("op_set_hash", 0, 0, 0, fmt.Sprintf("op streams differ (%s vs %s): generator changed, refresh the baseline",
+			baseline.OpSetHash, current.OpSetHash))
+		return out
+	}
+	// Run lengths need not match exactly (duration-bound runs jitter),
+	// but a large mismatch means incomparable cache-warming profiles:
+	// a 600-op baseline against a 60-op run is all cold misses.
+	if b, c := float64(baseline.TotalOps), float64(current.TotalOps); b > 0 && (c < b/2 || c > b*2) {
+		add("run_shape", b, c, 2, "run lengths differ by more than 2x; cache warming is incomparable")
+		return out
+	}
+
+	if baseline.Throughput > 0 {
+		ratio := current.Throughput / baseline.Throughput
+		if ratio < tol.MinThroughputRatio {
+			add("throughput_ops_s", baseline.Throughput, current.Throughput, tol.MinThroughputRatio,
+				fmt.Sprintf("throughput fell to %.2fx of baseline", ratio))
+		}
+	}
+
+	checkLatency := func(metric string, base, cur, maxRatio float64) {
+		if base < tol.MinLatencyFloorMs && cur < tol.MinLatencyFloorMs {
+			return // both below the noise floor
+		}
+		if base < tol.MinLatencyFloorMs {
+			base = tol.MinLatencyFloorMs
+		}
+		if cur > base*maxRatio {
+			add(metric, base, cur, maxRatio, fmt.Sprintf("latency grew %.2fx, over the %.2fx tolerance", cur/base, maxRatio))
+		}
+	}
+	checkLatency("latency_p50_ms", baseline.Latency.P50Ms, current.Latency.P50Ms, tol.MaxP50Ratio)
+	checkLatency("latency_p99_ms", baseline.Latency.P99Ms, current.Latency.P99Ms, tol.MaxP99Ratio)
+
+	baseErr := rate(baseline.Errors, baseline.TotalOps)
+	curErr := rate(current.Errors, current.TotalOps)
+	if curErr > baseErr+tol.MaxErrorRateDelta {
+		add("error_rate", baseErr, curErr, tol.MaxErrorRateDelta, "error fraction rose beyond tolerance")
+	}
+
+	baseShed := rate(baseline.Sheds+baseline.Timeouts, baseline.TotalOps)
+	curShed := rate(current.Sheds+current.Timeouts, current.TotalOps)
+	if curShed > baseShed+tol.MaxShedRateDelta {
+		add("shed_timeout_rate", baseShed, curShed, tol.MaxShedRateDelta, "shed+timeout fraction rose beyond tolerance")
+	}
+
+	if current.CacheHitRatio < baseline.CacheHitRatio-tol.MaxCacheHitDrop {
+		add("cache_hit_ratio", baseline.CacheHitRatio, current.CacheHitRatio, tol.MaxCacheHitDrop,
+			"cache hit ratio dropped beyond tolerance")
+	}
+
+	if cur := current.Counts[ClassInternal]; cur > 0 && baseline.Counts[ClassInternal] == 0 {
+		add("internal_errors", 0, float64(cur), 0, "run hit internal (5xx / contained panic) errors; baseline had none")
+	}
+	return out
+}

@@ -1,0 +1,500 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"nlexplain/internal/dcs"
+	"nlexplain/internal/sqlgen"
+	"nlexplain/internal/table"
+)
+
+// OpKind says which target entry point an Op exercises.
+type OpKind string
+
+// Op kinds.
+const (
+	OpExplain OpKind = "explain" // full pipeline: POST /v1/explain
+	OpAnswer  OpKind = "answer"  // answer-only fast path: POST /v1/answer
+	OpParse   OpKind = "parse"   // NL -> ranked candidates: POST /v1/parse
+	OpBatch   OpKind = "batch"   // POST /v1/explain/batch
+	OpSQL     OpKind = "sql"     // mini-SQL execution (in-process) / explain fallback (HTTP)
+)
+
+// BatchEntry is one query of a batch op.
+type BatchEntry struct {
+	Table string `json:"table"`
+	Query string `json:"query"`
+}
+
+// Op is one generated unit of traffic. The JSON form is stable — the
+// op-set hash in reports is computed over it.
+type Op struct {
+	Kind     OpKind `json:"kind"`
+	Family   string `json:"family"`
+	Table    string `json:"table,omitempty"`
+	Query    string `json:"query,omitempty"`
+	SQL      string `json:"sql,omitempty"`
+	Question string `json:"question,omitempty"`
+	// Batch entries, for Kind == OpBatch.
+	Batch []BatchEntry `json:"batch,omitempty"`
+	// TimeoutMs overrides the per-op deadline when positive (the
+	// adversarial mix uses tiny values to exercise deadline handling).
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// familyWeight is one weighted query family of a mix.
+type familyWeight struct {
+	family string
+	weight int
+}
+
+// Mix is a named distribution over query families.
+type Mix struct {
+	Name    string
+	About   string
+	weights []familyWeight // ordered, so generation is deterministic
+}
+
+// Mixes are the built-in traffic mixes, selectable by name in
+// wtq-bench. Families: lookup, comparative, superlative, aggregate
+// (explain ops over the corresponding paper query family), answer
+// (answer-only fast path), parse (NL questions), batch, sql (mini-SQL
+// fragment), malformed (parse/type errors), unknown_table, hog
+// (expensive deep queries over the large table) and tiny_timeout
+// (hogs under a 1ms deadline).
+var Mixes = []Mix{
+	{Name: "mixed", About: "a bit of everything; the CI gate mix", weights: []familyWeight{
+		{"lookup", 20}, {"comparative", 10}, {"superlative", 10}, {"aggregate", 10},
+		{"answer", 15}, {"parse", 10}, {"batch", 10}, {"sql", 10}, {"malformed", 5}}},
+	{Name: "explain", About: "full-pipeline explains across all query families", weights: []familyWeight{
+		{"lookup", 30}, {"comparative", 25}, {"aggregate", 25}, {"superlative", 20}}},
+	{Name: "answer", About: "answer-only fast path across all query families", weights: []familyWeight{
+		{"answer", 100}}},
+	{Name: "parse", About: "NL question parsing only", weights: []familyWeight{
+		{"parse", 100}}},
+	{Name: "batch", About: "batched explain requests", weights: []familyWeight{
+		{"batch", 100}}},
+	{Name: "sql", About: "mini-SQL fragment queries", weights: []familyWeight{
+		{"sql", 100}}},
+	{Name: "superlative", About: "superlative/comparative-heavy explains", weights: []familyWeight{
+		{"superlative", 60}, {"comparative", 40}}},
+	{Name: "adversarial", About: "malformed, unknown-table, expensive and tiny-deadline traffic", weights: []familyWeight{
+		{"malformed", 25}, {"unknown_table", 10}, {"hog", 35}, {"tiny_timeout", 20}, {"lookup", 10}}},
+}
+
+// MixByName resolves a built-in mix.
+func MixByName(name string) (Mix, bool) {
+	for _, m := range Mixes {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Mix{}, false
+}
+
+// MixNames lists the built-in mixes for CLI help.
+func MixNames() []string {
+	names := make([]string, len(Mixes))
+	for i, m := range Mixes {
+		names[i] = m.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MixSummaries renders one "name: about" line per built-in mix, in
+// declaration order — the -mix flag's usage text.
+func MixSummaries() string {
+	var b strings.Builder
+	for _, m := range Mixes {
+		fmt.Fprintf(&b, "\n    %-12s %s", m.Name, m.About)
+	}
+	return b.String()
+}
+
+// Generator deterministically synthesizes ops for one (seed, mix)
+// pair over a corpus.
+type Generator struct {
+	rng    *rand.Rand
+	corpus *Corpus
+	mix    Mix
+	total  int
+}
+
+// NewGenerator seeds a generator. The op stream depends only on
+// (seed, mix, corpus content); the corpus itself is seed-derived, so
+// one seed pins the whole workload.
+func NewGenerator(seed int64, mix Mix, corpus *Corpus) *Generator {
+	total := 0
+	for _, fw := range mix.weights {
+		total += fw.weight
+	}
+	// Offset the stream seed so table content and query choices come
+	// from independent sequences even though both derive from one seed.
+	return &Generator{rng: rand.New(rand.NewSource(seed ^ 0x5e3779b97f4a7c15)), corpus: corpus, mix: mix, total: total}
+}
+
+// Generate is the one-shot convenience: corpus + n ops from a seed.
+func Generate(seed int64, mix Mix, n int) (*Corpus, []Op) {
+	corpus := NewCorpus(seed)
+	g := NewGenerator(seed, mix, corpus)
+	return corpus, g.Ops(n)
+}
+
+// Ops generates the next n ops of the stream.
+func (g *Generator) Ops(n int) []Op {
+	out := make([]Op, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Next generates one op by drawing a family from the mix weights.
+func (g *Generator) Next() Op {
+	k := g.rng.Intn(g.total)
+	for _, fw := range g.mix.weights {
+		if k < fw.weight {
+			return g.genFamily(fw.family)
+		}
+		k -= fw.weight
+	}
+	panic("unreachable: weights sum to total")
+}
+
+// HashOps fingerprints an op stream (FNV-64a over the stable JSON
+// encoding); reports carry it so "same seed -> same queries" is
+// checkable across runs and machines.
+func HashOps(ops []Op) string {
+	h := fnv.New64a()
+	enc := json.NewEncoder(h)
+	for i := range ops {
+		if err := enc.Encode(&ops[i]); err != nil {
+			panic(err) // unreachable: Op has no unencodable fields
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func (g *Generator) genFamily(family string) Op {
+	switch family {
+	case "lookup":
+		t := g.anyTable()
+		return Op{Kind: OpExplain, Family: family, Table: t.Name(), Query: g.lookupExpr(t).String()}
+	case "comparative":
+		t := g.anyTable()
+		return Op{Kind: OpExplain, Family: family, Table: t.Name(), Query: g.comparativeExpr(t).String()}
+	case "superlative":
+		t := g.anyTable()
+		return Op{Kind: OpExplain, Family: family, Table: t.Name(), Query: g.superlativeExpr(t).String()}
+	case "aggregate":
+		t := g.anyTable()
+		return Op{Kind: OpExplain, Family: family, Table: t.Name(), Query: g.aggregateExpr(t).String()}
+	case "answer":
+		t := g.anyTable()
+		return Op{Kind: OpAnswer, Family: family, Table: t.Name(), Query: g.validExpr(t).String()}
+	case "parse":
+		t := g.anyTable()
+		return Op{Kind: OpParse, Family: family, Table: t.Name(), Question: g.question(t)}
+	case "batch":
+		return g.batchOp()
+	case "sql":
+		t := g.anyTable()
+		q, sql := g.sqlExpr(t)
+		return Op{Kind: OpSQL, Family: family, Table: t.Name(), Query: q.String(), SQL: sql}
+	case "malformed":
+		t := g.anyTable()
+		return Op{Kind: OpExplain, Family: family, Table: t.Name(), Query: g.malformedQuery()}
+	case "unknown_table":
+		return Op{Kind: OpExplain, Family: family, Table: "no_such_table", Query: "count(Record)"}
+	case "hog":
+		t, _ := g.corpus.Table(TableHuge)
+		return Op{Kind: OpExplain, Family: family, Table: t.Name(), Query: g.hogExpr(t).String()}
+	case "tiny_timeout":
+		t, _ := g.corpus.Table(TableHuge)
+		return Op{Kind: OpExplain, Family: family, Table: t.Name(), Query: g.hogExpr(t).String(), TimeoutMs: 1}
+	default:
+		panic(fmt.Sprintf("unknown workload family %q", family))
+	}
+}
+
+// anyTable picks one of the ordinary mix tables (never the huge
+// hog-only table, whose per-query cost would swamp a latency mix).
+func (g *Generator) anyTable() *table.Table {
+	t, _ := g.corpus.Table(mixTables[g.rng.Intn(len(mixTables))])
+	return t
+}
+
+func pick[T any](rng *rand.Rand, xs []T) T { return xs[rng.Intn(len(xs))] }
+
+// presentValue draws a value that occurs in the column, so
+// denotations built on it are never empty.
+func (g *Generator) presentValue(t *table.Table, colName string) table.Value {
+	col, _ := t.ColumnIndex(colName)
+	return t.Value(g.rng.Intn(t.NumRows()), col)
+}
+
+// missyValue is presentValue with an occasional guaranteed miss, so
+// empty denotations stay covered where they are legal (lookups).
+func (g *Generator) missyValue(t *table.Table, colName string) table.Value {
+	if g.rng.Intn(10) == 0 {
+		return table.StringValue("Atlantis")
+	}
+	return g.presentValue(t, colName)
+}
+
+func (g *Generator) join(t *table.Table, colName string) dcs.Expr {
+	return &dcs.Join{Column: colName, Arg: &dcs.ValueLit{V: g.presentValue(t, colName)}}
+}
+
+// compare builds a numeric comparison anchored on an existing cell
+// value; Ge/Le match at least the anchoring row, the strict forms may
+// legally denote empty record sets.
+func (g *Generator) compare(t *table.Table) dcs.Expr {
+	col := pick(g.rng, numericColumns)
+	op := pick(g.rng, []dcs.CmpOp{dcs.Lt, dcs.Le, dcs.Gt, dcs.Ge, dcs.Ne})
+	return &dcs.Compare{Column: col, Op: op, V: g.presentValue(t, col)}
+}
+
+// nonEmptyCompare restricts to operators guaranteed to match the
+// anchor row.
+func (g *Generator) nonEmptyCompare(t *table.Table) dcs.Expr {
+	col := pick(g.rng, numericColumns)
+	op := pick(g.rng, []dcs.CmpOp{dcs.Le, dcs.Ge})
+	return &dcs.Compare{Column: col, Op: op, V: g.presentValue(t, col)}
+}
+
+// lookupExpr: point lookups and projections — the "who/what/where"
+// family of Table 1. Lookups occasionally probe values absent from
+// the table (missyValue), so empty denotations stay covered.
+func (g *Generator) lookupExpr(t *table.Table) dcs.Expr {
+	col := pick(g.rng, anyColumns)
+	base := &dcs.Join{Column: col, Arg: &dcs.ValueLit{V: g.missyValue(t, col)}}
+	switch g.rng.Intn(3) {
+	case 0:
+		return base
+	case 1:
+		return &dcs.ColumnValues{Column: pick(g.rng, anyColumns), Records: base}
+	default:
+		return &dcs.Intersect{L: base, R: g.join(t, pick(g.rng, anyColumns))}
+	}
+}
+
+// comparativeExpr: numeric comparisons plus positional Prev/Next.
+func (g *Generator) comparativeExpr(t *table.Table) dcs.Expr {
+	base := g.compare(t)
+	switch g.rng.Intn(4) {
+	case 0:
+		return base
+	case 1:
+		return &dcs.ColumnValues{Column: pick(g.rng, anyColumns), Records: base}
+	case 2:
+		if g.rng.Intn(2) == 0 {
+			return &dcs.Prev{Records: g.join(t, pick(g.rng, textColumns))}
+		}
+		return &dcs.Next{Records: g.join(t, pick(g.rng, textColumns))}
+	default:
+		return &dcs.Intersect{L: base, R: g.join(t, pick(g.rng, textColumns))}
+	}
+}
+
+// superlativeExpr: argmax/argmin over records, index superlatives,
+// most-frequent and binary value comparisons.
+func (g *Generator) superlativeExpr(t *table.Table) dcs.Expr {
+	max := g.rng.Intn(2) == 0
+	switch g.rng.Intn(4) {
+	case 0:
+		var records dcs.Expr = &dcs.AllRecords{}
+		if g.rng.Intn(2) == 0 {
+			records = g.compare(t)
+		}
+		return &dcs.ArgRecords{Max: max, Records: records, Column: pick(g.rng, numericColumns)}
+	case 1:
+		return &dcs.IndexSuperlative{Column: pick(g.rng, anyColumns), Records: g.join(t, pick(g.rng, textColumns)), First: max}
+	case 2:
+		col := pick(g.rng, textColumns)
+		if g.rng.Intn(2) == 0 {
+			return &dcs.MostFrequent{Column: col}
+		}
+		return &dcs.MostFrequent{Column: col, Vals: g.valueUnion(t, col)}
+	default:
+		valCol := pick(g.rng, textColumns)
+		return &dcs.CompareValues{Max: max, Vals: g.valueUnion(t, valCol), KeyCol: pick(g.rng, numericColumns), ValCol: valCol}
+	}
+}
+
+// aggregateExpr: count / min / max / sum / avg and difference
+// arithmetic.
+func (g *Generator) aggregateExpr(t *table.Table) dcs.Expr {
+	switch g.rng.Intn(3) {
+	case 0:
+		var records dcs.Expr = &dcs.AllRecords{}
+		if g.rng.Intn(2) == 0 {
+			records = g.compare(t)
+		}
+		return &dcs.Aggregate{Fn: dcs.Count, Arg: records}
+	case 1:
+		// min/max/sum/avg error on empty sets, so these draw from
+		// record expressions guaranteed non-empty.
+		fn := pick(g.rng, []dcs.AggrFn{dcs.Min, dcs.Max, dcs.Sum, dcs.Avg})
+		return &dcs.Aggregate{Fn: fn, Arg: &dcs.ColumnValues{Column: pick(g.rng, numericColumns), Records: g.nonEmptyRecords(t)}}
+	default:
+		col := pick(g.rng, textColumns)
+		count := func() dcs.Expr {
+			return &dcs.Aggregate{Fn: dcs.Count, Arg: g.join(t, col)}
+		}
+		return &dcs.Sub{L: count(), R: count()}
+	}
+}
+
+// records draws a small record-set expression used as an aggregate or
+// batch building block.
+func (g *Generator) records(t *table.Table) dcs.Expr {
+	switch g.rng.Intn(3) {
+	case 0:
+		return &dcs.AllRecords{}
+	case 1:
+		return g.join(t, pick(g.rng, textColumns))
+	default:
+		return g.compare(t)
+	}
+}
+
+// nonEmptyRecords is records restricted to expressions that denote at
+// least one row.
+func (g *Generator) nonEmptyRecords(t *table.Table) dcs.Expr {
+	switch g.rng.Intn(3) {
+	case 0:
+		return &dcs.AllRecords{}
+	case 1:
+		return g.join(t, pick(g.rng, textColumns))
+	default:
+		return g.nonEmptyCompare(t)
+	}
+}
+
+// valueUnion builds a union of two literals drawn from a column.
+func (g *Generator) valueUnion(t *table.Table, colName string) dcs.Expr {
+	return &dcs.Union{
+		L: &dcs.ValueLit{V: g.presentValue(t, colName)},
+		R: &dcs.ValueLit{V: g.presentValue(t, colName)},
+	}
+}
+
+// validExpr draws uniformly across the four well-formed families.
+func (g *Generator) validExpr(t *table.Table) dcs.Expr {
+	switch g.rng.Intn(4) {
+	case 0:
+		return g.lookupExpr(t)
+	case 1:
+		return g.comparativeExpr(t)
+	case 2:
+		return g.superlativeExpr(t)
+	default:
+		return g.aggregateExpr(t)
+	}
+}
+
+// sqlExpr draws expressions until one lands in the Table 10 SQL
+// fragment (lookups and aggregates always do; a bounded number of
+// redraws keeps the stream deterministic), returning the DCS form and
+// its SQL translation.
+func (g *Generator) sqlExpr(t *table.Table) (dcs.Expr, string) {
+	for range 8 {
+		var q dcs.Expr
+		if g.rng.Intn(2) == 0 {
+			q = g.lookupExpr(t)
+		} else {
+			q = g.aggregateExpr(t)
+		}
+		if sql, err := sqlgen.TranslateSQL(q); err == nil {
+			return q, sql
+		}
+	}
+	q := &dcs.Aggregate{Fn: dcs.Count, Arg: &dcs.AllRecords{}}
+	sql, err := sqlgen.TranslateSQL(q)
+	if err != nil {
+		panic(fmt.Sprintf("count(Record) must be in the SQL fragment: %v", err))
+	}
+	return q, sql
+}
+
+// hogExpr builds a deliberately expensive but well-formed query over
+// the huge table: a tall union/argmax tower whose every level scans
+// thousands of rows, so one uncached computation costs real CPU time.
+// A unique Ne literal keeps each hog a distinct cache key, so a hog
+// storm cannot be served from the result LRU.
+func (g *Generator) hogExpr(t *table.Table) dcs.Expr {
+	var u dcs.Expr = g.join(t, pick(g.rng, textColumns))
+	for range 12 {
+		u = &dcs.Union{L: u, R: &dcs.ArgRecords{
+			Max:     g.rng.Intn(2) == 0,
+			Records: &dcs.Union{L: g.records(t), R: g.records(t)},
+			Column:  pick(g.rng, numericColumns),
+		}}
+	}
+	deep := &dcs.ArgRecords{
+		Max:     g.rng.Intn(2) == 0,
+		Records: &dcs.Intersect{L: u, R: &dcs.Compare{Column: "Games", Op: dcs.Ne, V: table.NumberValue(float64(g.rng.Intn(1 << 20)))}},
+		Column:  pick(g.rng, numericColumns),
+	}
+	return &dcs.ColumnValues{Column: pick(g.rng, anyColumns), Records: deep}
+}
+
+// malformedQueries are broken in distinct ways: lexer errors,
+// unbalanced parens, missing operands, unknown columns (type errors)
+// and empty input.
+var malformedQueries = []string{
+	"max(",
+	"R[Year.City",
+	"((City.Athens)",
+	"Games >>",
+	"",
+	"argmax(Record,)",
+	"Population.10",
+	"R[Frobnicate].Record",
+	"sub(count(Record)",
+	"min(R[Nation].Record)", // aggregating text: dynamic exec error
+}
+
+func (g *Generator) malformedQuery() string {
+	return pick(g.rng, malformedQueries)
+}
+
+// batchOp bundles 4-16 valid queries over random corpus tables.
+func (g *Generator) batchOp() Op {
+	n := 4 + g.rng.Intn(13)
+	entries := make([]BatchEntry, n)
+	for i := range entries {
+		t := g.anyTable()
+		entries[i] = BatchEntry{Table: t.Name(), Query: g.validExpr(t).String()}
+	}
+	return Op{Kind: OpBatch, Family: "batch", Batch: entries}
+}
+
+// questionTemplates phrase NL questions over the corpus schema; {N}
+// and {C} are replaced with a nation / city drawn from the table.
+var questionTemplates = []string{
+	"which nation had the most games",
+	"how many games did {N} play",
+	"where did {N} play",
+	"which city hosted the fewest games",
+	"what year did {N} reach the final",
+	"how many nations played in {C}",
+	"which nation appears most often",
+	"what is the total number of games",
+	"who played after {N}",
+	"which year had more than 100 games",
+}
+
+func (g *Generator) question(t *table.Table) string {
+	q := pick(g.rng, questionTemplates)
+	q = strings.ReplaceAll(q, "{N}", g.presentValue(t, "Nation").String())
+	q = strings.ReplaceAll(q, "{C}", g.presentValue(t, "City").String())
+	return q
+}

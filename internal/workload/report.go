@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"nlexplain/internal/engine"
+)
+
+// ReportSchemaVersion gates Compare: reports with different schema
+// versions never diff silently.
+const ReportSchemaVersion = 1
+
+// LatencyStats summarizes a latency distribution. Quantiles are exact
+// (nearest-rank over every recorded sample), not histogram
+// approximations.
+type LatencyStats struct {
+	Count  int     `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// KindReport is the per-op-kind slice of a report.
+type KindReport struct {
+	Latency LatencyStats   `json:"latency"`
+	Counts  map[string]int `json:"counts"`
+}
+
+// Report is the stable JSON output of one workload run — the artifact
+// wtq-bench writes, CI uploads, and Compare diffs.
+type Report struct {
+	Schema    int     `json:"schema"`
+	Target    string  `json:"target"`
+	Mix       string  `json:"mix"`
+	Seed      int64   `json:"seed"`
+	Workers   int     `json:"workers"`
+	QPS       float64 `json:"qps,omitempty"`
+	OpSetSize int     `json:"op_set_size"`
+	// OpSetHash fingerprints the generated op stream: equal seeds and
+	// mixes must produce equal hashes on any machine.
+	OpSetHash string `json:"op_set_hash"`
+
+	DurationS  float64 `json:"duration_s"`
+	TotalOps   int     `json:"total_ops"`
+	Throughput float64 `json:"throughput_ops_s"`
+
+	// Counts maps outcome class (ok, client_error, timeout, overloaded,
+	// internal, transport) to op count; convenience totals below.
+	Counts   map[string]int `json:"counts"`
+	Errors   int            `json:"errors"`
+	Sheds    int            `json:"sheds"`
+	Timeouts int            `json:"timeouts"`
+	Cached   int            `json:"cached"`
+
+	Latency LatencyStats          `json:"latency"`
+	PerKind map[string]KindReport `json:"per_kind"`
+
+	// CacheHitRatio is hits/(hits+misses) over the engine's result,
+	// answer and parse caches, deltas across the run.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	// Engine is the target engine's post-run counter snapshot — the
+	// exact schema wtq-server serves on GET /v1/stats.
+	Engine *engine.Stats `json:"engine,omitempty"`
+}
+
+// summarize computes exact quantiles from a sample of durations.
+func summarize(durs []time.Duration) LatencyStats {
+	s := LatencyStats{Count: len(durs)}
+	if len(durs) == 0 {
+		return s
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	var total time.Duration
+	for _, d := range durs {
+		total += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	quant := func(q float64) float64 {
+		idx := int(math.Ceil(q*float64(len(durs)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return ms(durs[idx])
+	}
+	s.MeanMs = ms(total) / float64(len(durs))
+	s.P50Ms = quant(0.50)
+	s.P90Ms = quant(0.90)
+	s.P99Ms = quant(0.99)
+	s.MaxMs = ms(durs[len(durs)-1])
+	return s
+}
+
+// buildReport merges worker recorders into the final report.
+func buildReport(target string, ops []Op, recs []*recorder, elapsed time.Duration, opts Options) *Report {
+	rep := &Report{
+		Schema:    ReportSchemaVersion,
+		Target:    target,
+		Mix:       opts.MixName,
+		Seed:      opts.Seed,
+		Workers:   opts.Workers,
+		QPS:       opts.QPS,
+		OpSetSize: len(ops),
+		OpSetHash: HashOps(ops),
+		DurationS: elapsed.Seconds(),
+		Counts:    make(map[string]int),
+		PerKind:   make(map[string]KindReport),
+	}
+	var all []time.Duration
+	perKindDurs := make(map[OpKind][]time.Duration)
+	perKindCounts := make(map[OpKind]map[string]int)
+	for _, rec := range recs {
+		for _, s := range rec.samples {
+			rep.TotalOps++
+			rep.Counts[s.class]++
+			if s.cached {
+				rep.Cached++
+			}
+			all = append(all, s.latency)
+			perKindDurs[s.kind] = append(perKindDurs[s.kind], s.latency)
+			if perKindCounts[s.kind] == nil {
+				perKindCounts[s.kind] = make(map[string]int)
+			}
+			perKindCounts[s.kind][s.class]++
+		}
+	}
+	rep.Errors = rep.Counts[ClassClientError] + rep.Counts[ClassInternal] + rep.Counts[ClassTransport]
+	rep.Sheds = rep.Counts[ClassOverloaded]
+	rep.Timeouts = rep.Counts[ClassTimeout]
+	rep.Latency = summarize(all)
+	for kind, durs := range perKindDurs {
+		rep.PerKind[string(kind)] = KindReport{Latency: summarize(durs), Counts: perKindCounts[kind]}
+	}
+	if rep.DurationS > 0 {
+		rep.Throughput = float64(rep.TotalOps) / rep.DurationS
+	}
+	return rep
+}
+
+// attachEngineStats records the post-run engine snapshot and derives
+// the run's cache hit ratio from before/after counter deltas.
+func (r *Report) attachEngineStats(before, after engine.Stats) {
+	r.Engine = &after
+	hits := float64((after.ResultHits - before.ResultHits) +
+		(after.AnswerHits - before.AnswerHits) +
+		(after.ParseHits - before.ParseHits))
+	misses := float64((after.ResultMisses - before.ResultMisses) +
+		(after.AnswerMisses - before.AnswerMisses) +
+		(after.ParseMisses - before.ParseMisses))
+	if hits+misses > 0 {
+		r.CacheHitRatio = hits / (hits + misses)
+	}
+}
+
+// WriteFile serializes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadReport loads and version-checks a report file.
+func ReadReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("parsing report %s: %w", path, err)
+	}
+	if r.Schema != ReportSchemaVersion {
+		return nil, fmt.Errorf("report %s has schema %d, want %d", path, r.Schema, ReportSchemaVersion)
+	}
+	return &r, nil
+}
+
+// Summary renders the human-readable one-screen digest wtq-bench
+// prints after a run.
+func (r *Report) Summary() string {
+	return fmt.Sprintf(
+		"target=%s mix=%s seed=%d workers=%d ops=%d (%.1f ops/s over %.2fs)\n"+
+			"  latency ms: p50=%.3f p90=%.3f p99=%.3f max=%.3f mean=%.3f\n"+
+			"  ok=%d errors=%d sheds=%d timeouts=%d cached=%d cache_hit_ratio=%.3f\n"+
+			"  op_set=%d hash=%s",
+		r.Target, r.Mix, r.Seed, r.Workers, r.TotalOps, r.Throughput, r.DurationS,
+		r.Latency.P50Ms, r.Latency.P90Ms, r.Latency.P99Ms, r.Latency.MaxMs, r.Latency.MeanMs,
+		r.Counts[ClassOK], r.Errors, r.Sheds, r.Timeouts, r.Cached, r.CacheHitRatio,
+		r.OpSetSize, r.OpSetHash)
+}

@@ -1,0 +1,371 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"nlexplain/internal/engine"
+	"nlexplain/internal/minisql"
+	"nlexplain/internal/table"
+)
+
+// Outcome classes, ordered by severity (aggregation keeps the worst).
+const (
+	ClassOK          = "ok"
+	ClassCanceled    = "canceled"     // driver shutdown; never recorded in reports
+	ClassClientError = "client_error" // bad query / unknown table / type error
+	ClassTimeout     = "timeout"      // deadline exceeded
+	ClassOverloaded  = "overloaded"   // shed by the admission queue
+	ClassInternal    = "internal"     // contained panic / 5xx
+	ClassTransport   = "transport"    // HTTP connection failure
+)
+
+// classRank orders classes for worst-of aggregation in batches.
+var classRank = map[string]int{
+	ClassOK: 0, ClassCanceled: 1, ClassClientError: 2, ClassTimeout: 3, ClassOverloaded: 4, ClassInternal: 5, ClassTransport: 6,
+}
+
+func worseClass(a, b string) string {
+	if classRank[b] > classRank[a] {
+		return b
+	}
+	return a
+}
+
+// Outcome is the result of driving one Op at a target.
+type Outcome struct {
+	Class  string
+	Cached bool
+	Err    error
+}
+
+// Target is anything the driver can aim a workload at.
+type Target interface {
+	// Name labels the target in reports ("inproc" or the base URL).
+	Name() string
+	// RegisterTables installs the corpus before the run.
+	RegisterTables(ts []*table.Table) error
+	// Do executes one op, honoring ctx.
+	Do(ctx context.Context, op Op) Outcome
+	// EngineStats snapshots the target engine's counters (the same
+	// schema wtq-server serves on /v1/stats).
+	EngineStats() (engine.Stats, error)
+	// Close releases target resources.
+	Close() error
+}
+
+// classifyErr maps an engine error to an outcome class.
+func classifyErr(err error) string {
+	switch {
+	case err == nil:
+		return ClassOK
+	case errors.Is(err, engine.ErrOverloaded):
+		return ClassOverloaded
+	case errors.Is(err, context.DeadlineExceeded):
+		return ClassTimeout
+	case errors.Is(err, context.Canceled):
+		return ClassCanceled
+	case errors.Is(err, engine.ErrInternal):
+		return ClassInternal
+	default:
+		return ClassClientError
+	}
+}
+
+// opCtx applies an op's own timeout, when set, on top of the driver's.
+func opCtx(ctx context.Context, op Op) (context.Context, context.CancelFunc) {
+	if op.TimeoutMs > 0 {
+		return context.WithTimeout(ctx, time.Duration(op.TimeoutMs)*time.Millisecond)
+	}
+	return ctx, func() {}
+}
+
+// InProc drives an in-process engine.Engine — the zero-network
+// configuration CI uses, so the perf gate measures the pipeline, not
+// the HTTP stack.
+type InProc struct {
+	Engine *engine.Engine
+	tables map[string]*table.Table
+}
+
+// NewInProc wraps a fresh engine with the given options.
+func NewInProc(opts engine.Options) *InProc {
+	return &InProc{Engine: engine.New(opts), tables: make(map[string]*table.Table)}
+}
+
+// Name implements Target.
+func (p *InProc) Name() string { return "inproc" }
+
+// RegisterTables implements Target.
+func (p *InProc) RegisterTables(ts []*table.Table) error {
+	for _, t := range ts {
+		p.Engine.RegisterTable(t)
+		p.tables[t.Name()] = t
+	}
+	return nil
+}
+
+// EngineStats implements Target.
+func (p *InProc) EngineStats() (engine.Stats, error) { return p.Engine.Stats(), nil }
+
+// Close implements Target.
+func (p *InProc) Close() error { return nil }
+
+// Do implements Target.
+func (p *InProc) Do(ctx context.Context, op Op) Outcome {
+	ctx, cancel := opCtx(ctx, op)
+	defer cancel()
+	switch op.Kind {
+	case OpExplain:
+		_, cached, err := p.Engine.ExplainCached(ctx, op.Table, op.Query)
+		return Outcome{Class: classifyErr(err), Cached: cached, Err: err}
+	case OpAnswer:
+		_, cached, err := p.Engine.ExplainAnswer(ctx, op.Table, op.Query)
+		return Outcome{Class: classifyErr(err), Cached: cached, Err: err}
+	case OpParse:
+		_, err := p.Engine.ParseQuestion(ctx, op.Table, op.Question, 0)
+		return Outcome{Class: classifyErr(err), Err: err}
+	case OpBatch:
+		reqs := make([]engine.Request, len(op.Batch))
+		for i, e := range op.Batch {
+			reqs[i] = engine.Request{Table: e.Table, Query: e.Query, Timeout: time.Duration(op.TimeoutMs) * time.Millisecond}
+		}
+		out := Outcome{Class: ClassOK}
+		okCount, cachedOK := 0, 0
+		for _, res := range p.Engine.ExplainBatch(ctx, reqs) {
+			out.Class = worseClass(out.Class, classifyErr(res.Err))
+			if res.Err == nil {
+				okCount++
+				if res.Cached {
+					cachedOK++
+				}
+			} else if out.Err == nil {
+				out.Err = res.Err
+			}
+		}
+		// A batch counts as cached only when it actually served results
+		// and every one came from cache; an all-failure batch must not.
+		out.Cached = okCount > 0 && cachedOK == okCount
+		return out
+	case OpSQL:
+		// Mini-SQL runs directly against the registered table: the SQL
+		// fragment has no provenance pipeline, so this measures the
+		// relational plan core alone.
+		t, ok := p.tables[op.Table]
+		if !ok {
+			err := fmt.Errorf("%w: %q", engine.ErrUnknownTable, op.Table)
+			return Outcome{Class: ClassClientError, Err: err}
+		}
+		q, err := minisql.Parse(op.SQL)
+		if err != nil {
+			return Outcome{Class: ClassClientError, Err: err}
+		}
+		if _, err := minisql.Exec(q, t); err != nil {
+			return Outcome{Class: ClassClientError, Err: err}
+		}
+		return Outcome{Class: ClassOK}
+	default:
+		return Outcome{Class: ClassClientError, Err: fmt.Errorf("unknown op kind %q", op.Kind)}
+	}
+}
+
+// HTTPTarget drives a live wtq-server over its JSON API.
+type HTTPTarget struct {
+	Base   string
+	Client *http.Client
+}
+
+// NewHTTPTarget aims at a wtq-server base URL (e.g.
+// "http://localhost:8080").
+func NewHTTPTarget(base string) *HTTPTarget {
+	return &HTTPTarget{Base: base, Client: &http.Client{}}
+}
+
+// Name implements Target.
+func (h *HTTPTarget) Name() string { return h.Base }
+
+// Close implements Target.
+func (h *HTTPTarget) Close() error {
+	h.Client.CloseIdleConnections()
+	return nil
+}
+
+// post sends a JSON body and returns the status and decoded response.
+func (h *HTTPTarget) post(ctx context.Context, path string, body any, out any) (int, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.Base+path, bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+		return resp.StatusCode, nil
+	}
+	_, _ = io.Copy(io.Discard, resp.Body) // drain so the connection is reused
+	return resp.StatusCode, nil
+}
+
+// RegisterTables implements Target.
+func (h *HTTPTarget) RegisterTables(ts []*table.Table) error {
+	for _, t := range ts {
+		rows := make([][]string, t.NumRows())
+		for r := range rows {
+			row := make([]string, t.NumCols())
+			for c := range row {
+				row[c] = t.Raw(r, c)
+			}
+			rows[r] = row
+		}
+		body := map[string]any{"name": t.Name(), "columns": t.Columns(), "rows": rows}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		status, err := h.post(ctx, "/v1/tables", body, nil)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("registering %s: %w", t.Name(), err)
+		}
+		if status != http.StatusCreated {
+			return fmt.Errorf("registering %s: status %d", t.Name(), status)
+		}
+	}
+	return nil
+}
+
+// EngineStats implements Target: it scrapes GET /v1/stats, which
+// serves exactly the engine.Stats schema. Bounded by its own deadline
+// so a wedged server fails the run fast instead of hanging it.
+func (h *HTTPTarget) EngineStats() (engine.Stats, error) {
+	var s engine.Stats
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.Base+"/v1/stats", nil)
+	if err != nil {
+		return s, err
+	}
+	resp, err := h.Client.Do(req)
+	if err != nil {
+		return s, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return s, fmt.Errorf("GET /v1/stats: status %d", resp.StatusCode)
+	}
+	return s, json.NewDecoder(resp.Body).Decode(&s)
+}
+
+// classifyStatus maps an HTTP status to an outcome class, inverting
+// wtq-server's errStatus mapping (499 is its client-went-away code).
+func classifyStatus(status int) string {
+	switch {
+	case status < 300:
+		return ClassOK
+	case status == 499:
+		return ClassCanceled
+	case status == http.StatusServiceUnavailable:
+		return ClassOverloaded
+	case status == http.StatusGatewayTimeout:
+		return ClassTimeout
+	case status >= 500:
+		return ClassInternal
+	default:
+		return ClassClientError
+	}
+}
+
+type cachedBody struct {
+	Cached bool `json:"cached"`
+}
+
+// Do implements Target.
+func (h *HTTPTarget) Do(ctx context.Context, op Op) Outcome {
+	ctx, cancel := opCtx(ctx, op)
+	defer cancel()
+	switch op.Kind {
+	case OpExplain:
+		return h.simplePost(ctx, "/v1/explain", map[string]string{"table": op.Table, "query": op.Query})
+	case OpAnswer:
+		return h.simplePost(ctx, "/v1/answer", map[string]string{"table": op.Table, "query": op.Query})
+	case OpSQL:
+		// No SQL endpoint on the wire; the answer-only fast path over
+		// the equivalent DCS form is the closest measurement.
+		return h.simplePost(ctx, "/v1/answer", map[string]string{"table": op.Table, "query": op.Query})
+	case OpParse:
+		return h.simplePost(ctx, "/v1/parse", map[string]string{"table": op.Table, "question": op.Question})
+	case OpBatch:
+		queries := make([]map[string]string, len(op.Batch))
+		for i, e := range op.Batch {
+			queries[i] = map[string]string{"table": e.Table, "query": e.Query}
+		}
+		body := map[string]any{"queries": queries}
+		if op.TimeoutMs > 0 {
+			body["timeout_ms"] = op.TimeoutMs
+		}
+		var resp struct {
+			Results []struct {
+				Cached bool   `json:"cached"`
+				Error  string `json:"error"`
+			} `json:"results"`
+			Errors int `json:"errors"`
+		}
+		status, err := h.post(ctx, "/v1/explain/batch", body, &resp)
+		if err != nil {
+			return transportOutcome(ctx, err)
+		}
+		out := Outcome{Class: classifyStatus(status)}
+		okCount, cachedOK := 0, 0
+		for _, r := range resp.Results {
+			if r.Error != "" {
+				// The wire form loses the error type; count sub-errors
+				// as client errors, the dominant class.
+				out.Class = worseClass(out.Class, ClassClientError)
+			} else {
+				okCount++
+				if r.Cached {
+					cachedOK++
+				}
+			}
+		}
+		out.Cached = okCount > 0 && cachedOK == okCount
+		return out
+	default:
+		return Outcome{Class: ClassClientError, Err: fmt.Errorf("unknown op kind %q", op.Kind)}
+	}
+}
+
+func (h *HTTPTarget) simplePost(ctx context.Context, path string, body any) Outcome {
+	var cb cachedBody
+	status, err := h.post(ctx, path, body, &cb)
+	if err != nil {
+		return transportOutcome(ctx, err)
+	}
+	return Outcome{Class: classifyStatus(status), Cached: cb.Cached}
+}
+
+// transportOutcome distinguishes a deadline-killed request and a
+// canceled one from a genuinely failed connection.
+func transportOutcome(ctx context.Context, err error) Outcome {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
+		return Outcome{Class: ClassTimeout, Err: err}
+	case errors.Is(err, context.Canceled) || errors.Is(ctx.Err(), context.Canceled):
+		return Outcome{Class: ClassCanceled, Err: err}
+	default:
+		return Outcome{Class: ClassTransport, Err: err}
+	}
+}

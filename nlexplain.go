@@ -42,11 +42,15 @@
 //	stats := eng.Stats() // hits, misses, executions, latency
 //
 // cmd/wtq-server wraps the engine in an HTTP/JSON service with
-// endpoints POST /v1/tables, /v1/explain, /v1/explain/batch, /v1/parse
-// and GET /v1/healthz, /v1/stats; see examples/server for a curl
-// transcript. Build and run everything through the Makefile: `make
-// build test vet fmt bench serve`, mirrored one-to-one by the GitHub
-// Actions workflow in .github/workflows/ci.yml.
+// endpoints POST /v1/tables, /v1/explain, /v1/explain/batch,
+// /v1/answer, /v1/parse and GET /v1/healthz, /v1/stats; see
+// examples/server for a curl transcript. cmd/wtq-bench generates
+// seeded, reproducible query workloads (internal/workload) and drives
+// them at the engine or a live server, producing the JSON perf
+// reports CI gates on. Build and run everything through the Makefile:
+// `make build test vet fmt cover bench perf-gate serve`, mirrored
+// one-to-one by the GitHub Actions workflow in
+// .github/workflows/ci.yml.
 package nlexplain
 
 import (
@@ -185,6 +189,8 @@ type (
 	EngineStats = engine.Stats
 	// EngineExplanation is the engine's JSON-ready pipeline output.
 	EngineExplanation = engine.Explanation
+	// EngineAnswer is the engine's answer-only fast-path output.
+	EngineAnswer = engine.Answer
 	// ExplainRequest is one query of an ExplainBatch call.
 	ExplainRequest = engine.Request
 	// ExplainBatchResult is one in-order outcome of ExplainBatch.
