@@ -15,7 +15,7 @@ PERF_BASELINE = bench_baseline.json
 PERF_REPORT   = bench_report.json
 PERF_FLAGS    = -max-p50-ratio 4 -max-p99-ratio 4 -min-throughput-ratio 0.2
 
-.PHONY: all build test vet fmt cover bench baseline perf-gate serve ci
+.PHONY: all build test vet fmt cover bench baseline perf-gate store-stress serve ci
 
 all: build
 
@@ -54,6 +54,12 @@ bench:
 	@$(GO) test -run='^$$' -bench=. -benchtime=1x ./... > bench.out 2>&1 || { cat bench.out; exit 1; }
 	@cat bench.out
 	@echo "benchstat-friendly output written to $$(pwd)/bench.out"
+
+# store-stress reruns the versioned-store concurrency suite (snapshot
+# isolation, churn, eviction) under the race detector, twice, exactly
+# as the dedicated CI shard does.
+store-stress:
+	$(GO) test -race -run Store -count=2 ./internal/store/... ./internal/engine/...
 
 # baseline regenerates the checked-in perf-gate baseline with the
 # CI-canonical workload (seed 1, mixed traffic, op-count bound).

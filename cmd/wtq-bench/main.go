@@ -15,6 +15,11 @@
 //	wtq-bench baseline
 //	wtq-bench compare -max-p99-ratio 1.5 bench_baseline.json report.json
 //
+// The mixed mix (the CI gate) includes the churn family: each churn op
+// exercises the full table lifecycle (register, explain, PATCH-append,
+// answer, DELETE) against the versioned store, with response version
+// stamps cross-checked so a stale cache or torn snapshot fails the op.
+//
 // The generated query set is a pure function of (seed, mix): the same
 // seed yields byte-identical queries on any machine, and each report
 // records the op-set hash so compare refuses to diff reports from
@@ -99,6 +104,7 @@ func cmdRun(args []string, def runDefaults, stdout, stderr io.Writer) int {
 	enginePending := fs.Int("engine-pending", 0, "in-process engine admission queue bound (0 = default)")
 	engineCache := fs.Int("engine-cache", 0, "in-process engine LRU entries per cache (0 = default)")
 	engineTimeout := fs.Duration("engine-timeout", 0, "in-process engine per-query timeout (0 = default)")
+	engineStoreBudget := fs.Int64("engine-store-budget", 0, "in-process engine table-store byte budget (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -115,10 +121,11 @@ func cmdRun(args []string, def runDefaults, stdout, stderr io.Writer) int {
 	var tgt workload.Target
 	if *target == "inproc" {
 		tgt = workload.NewInProc(engine.Options{
-			Workers:      *engineWorkers,
-			MaxPending:   *enginePending,
-			CacheSize:    *engineCache,
-			QueryTimeout: *engineTimeout,
+			Workers:         *engineWorkers,
+			MaxPending:      *enginePending,
+			CacheSize:       *engineCache,
+			QueryTimeout:    *engineTimeout,
+			StoreByteBudget: *engineStoreBudget,
 		})
 	} else {
 		tgt = workload.NewHTTPTarget(strings.TrimRight(*target, "/"))

@@ -5,14 +5,22 @@
 //
 // Endpoints:
 //
-//	POST /v1/tables        register a table {name, columns, rows} or {name, csv}
-//	GET  /v1/tables        list registered tables
-//	POST /v1/explain       {table, query} -> utterance + highlights + provenance
-//	POST /v1/explain/batch {queries: [{table, query}...], timeout_ms} -> in-order results
-//	POST /v1/answer        {table, query} -> denotation only (answer-only fast path)
-//	POST /v1/parse         {table, question, top_k} -> ranked candidate queries
-//	GET  /v1/healthz       liveness + table count
-//	GET  /v1/stats         engine counters for scraping
+//	POST   /v1/tables        register a table {name, columns, rows} or {name, csv}
+//	GET    /v1/tables        list registered tables
+//	PATCH  /v1/tables/{name} append rows {rows} to a registered table
+//	DELETE /v1/tables/{name} drop a table
+//	POST   /v1/explain       {table, query} -> utterance + highlights + provenance
+//	POST   /v1/explain/batch {queries: [{table, query}...], timeout_ms} -> in-order results
+//	POST   /v1/answer        {table, query} -> denotation only (answer-only fast path)
+//	POST   /v1/parse         {table, question, top_k} -> ranked candidate queries
+//	GET    /v1/healthz       liveness + table count
+//	GET    /v1/stats         engine counters (incl. store_bytes/store_evictions/store_tables)
+//
+// Table mutations (register over an existing name, PATCH, DELETE) bump
+// the store generation and synchronously invalidate every cached
+// result of the displaced version; in-flight queries keep the snapshot
+// they pinned. Table payload endpoints are capped by -max-table-bytes
+// (default 8 MiB) and reply 413 with a JSON error body beyond it.
 //
 // Run `wtq-server -demo` to start with the paper's Figure 1 olympics
 // table pre-registered; see examples/server for a curl transcript.
@@ -34,16 +42,28 @@ import (
 	"nlexplain"
 )
 
+// defaultMaxTableBytes caps table payload bodies (POST/PATCH
+// /v1/tables) unless -max-table-bytes overrides it.
+const defaultMaxTableBytes = 8 << 20
+
 // server wires the engine to HTTP handlers.
 type server struct {
 	engine *nlexplain.Engine
+	// maxTableBytes bounds table payload request bodies; beyond it the
+	// server replies 413 with a JSON error body.
+	maxTableBytes int64
 }
 
-func newMux(e *nlexplain.Engine) *http.ServeMux {
-	s := &server{engine: e}
+func newMux(e *nlexplain.Engine, maxTableBytes int64) *http.ServeMux {
+	if maxTableBytes <= 0 {
+		maxTableBytes = defaultMaxTableBytes
+	}
+	s := &server{engine: e, maxTableBytes: maxTableBytes}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/tables", s.handleRegisterTable)
 	mux.HandleFunc("GET /v1/tables", s.handleListTables)
+	mux.HandleFunc("PATCH /v1/tables/{name}", s.handleAppendRows)
+	mux.HandleFunc("DELETE /v1/tables/{name}", s.handleDropTable)
 	mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	mux.HandleFunc("POST /v1/explain/batch", s.handleExplainBatch)
 	mux.HandleFunc("POST /v1/answer", s.handleAnswer)
@@ -104,9 +124,22 @@ func errMessage(err error) string {
 }
 
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	return decodeCapped(w, r, v, 16<<20)
+}
+
+// decodeCapped decodes a JSON body bounded by limit bytes. An
+// over-limit body maps to 413 (with the JSON error shape every other
+// failure uses), not 400: the request may be well-formed, the server
+// just refuses to buffer it.
+func decodeCapped(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxErr.Limit)
+			return false
+		}
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return false
 	}
@@ -124,7 +157,7 @@ type registerTableRequest struct {
 
 func (s *server) handleRegisterTable(w http.ResponseWriter, r *http.Request) {
 	var req registerTableRequest
-	if !decode(w, r, &req) {
+	if !decodeCapped(w, r, &req, s.maxTableBytes) {
 		return
 	}
 	if req.Name == "" {
@@ -153,6 +186,44 @@ func (s *server) handleRegisterTable(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleListTables(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"tables": s.engine.Tables()})
+}
+
+type appendRowsRequest struct {
+	Rows [][]string `json:"rows"`
+}
+
+// handleAppendRows is PATCH /v1/tables/{name}: append rows to a live
+// table. The store installs a copy-on-write successor snapshot, bumps
+// the generation and synchronously purges the old version's cached
+// results; queries in flight keep the snapshot they pinned.
+func (s *server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req appendRowsRequest
+	if !decodeCapped(w, r, &req, s.maxTableBytes) {
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, "no rows to append")
+		return
+	}
+	info, err := s.engine.AppendRows(name, req.Rows)
+	if err != nil {
+		writeError(w, errStatus(err), "appending to table: %s", errMessage(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleDropTable is DELETE /v1/tables/{name}: remove a table and
+// synchronously invalidate its cached results.
+func (s *server) handleDropTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	info, ok := s.engine.DropTable(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown table: %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dropped": info})
 }
 
 type explainRequest struct {
@@ -293,13 +364,16 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 0, "LRU cache entries per cache (0 = default)")
 	timeout := flag.Duration("timeout", 0, "per-query timeout (0 = default 10s)")
+	storeBudget := flag.Int64("store-budget", 0, "table store byte budget; over it cold tables' derived indexes are evicted (0 = unlimited)")
+	maxTableBytes := flag.Int64("max-table-bytes", defaultMaxTableBytes, "max table payload body size in bytes (413 beyond it)")
 	demo := flag.Bool("demo", false, "pre-register the olympics demo table")
 	flag.Parse()
 
 	e := nlexplain.NewEngine(nlexplain.EngineOptions{
-		Workers:      *workers,
-		CacheSize:    *cacheSize,
-		QueryTimeout: *timeout,
+		Workers:         *workers,
+		CacheSize:       *cacheSize,
+		QueryTimeout:    *timeout,
+		StoreByteBudget: *storeBudget,
 	})
 	if *demo {
 		if err := demoTable(e); err != nil {
@@ -325,7 +399,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(e),
+		Handler:           newMux(e, *maxTableBytes),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	log.Printf("wtq-server listening on %s (%d tables)", *addr, len(e.Tables()))

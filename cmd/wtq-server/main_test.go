@@ -14,10 +14,48 @@ import (
 
 func newTestServer(t *testing.T) (*httptest.Server, *nlexplain.Engine) {
 	t.Helper()
+	return newTestServerCapped(t, 0)
+}
+
+// newTestServerCapped builds a test server with an explicit table
+// payload cap (0 = the default 8 MiB).
+func newTestServerCapped(t *testing.T, maxTableBytes int64) (*httptest.Server, *nlexplain.Engine) {
+	t.Helper()
 	e := nlexplain.NewEngine(nlexplain.EngineOptions{Workers: 4})
-	ts := httptest.NewServer(newMux(e))
+	ts := httptest.NewServer(newMux(e, maxTableBytes))
 	t.Cleanup(ts.Close)
 	return ts, e
+}
+
+// doJSON issues a request with an arbitrary method (PATCH, DELETE)
+// and a JSON body.
+func doJSON(t *testing.T, method, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
 }
 
 func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {

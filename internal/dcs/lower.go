@@ -51,6 +51,13 @@ func (c *Compiled) ExecuteWith(t *table.Table, tr plan.Tracer) (*Result, error) 
 	return resultFromVal(v), nil
 }
 
+// ExecuteSource is ExecuteWith through a snapshot handle: the table is
+// pinned from src once, at execution start, so a run never observes a
+// store mutation that lands mid-flight.
+func (c *Compiled) ExecuteSource(src plan.Source, tr plan.Tracer) (*Result, error) {
+	return c.ExecuteWith(src.PlanTable(), tr)
+}
+
 // Lower translates a checked expression into an unoptimized plan tree.
 // Column names are resolved against t; call Check first — Lower
 // assumes references are valid.

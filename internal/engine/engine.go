@@ -14,10 +14,8 @@ package engine
 
 import (
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 	"time"
@@ -28,6 +26,7 @@ import (
 	"nlexplain/internal/provenance"
 	"nlexplain/internal/render"
 	"nlexplain/internal/semparse"
+	"nlexplain/internal/store"
 	"nlexplain/internal/table"
 	"nlexplain/internal/utterance"
 )
@@ -53,6 +52,13 @@ type Options struct {
 	// SampleThreshold is the row count above which explanation grids
 	// switch to Section 5.3 record sampling. Default 40.
 	SampleThreshold int
+	// StoreShards is the lock-stripe count of the versioned table
+	// store. Default 16 (store default).
+	StoreShards int
+	// StoreByteBudget bounds the table store's resident-byte estimate;
+	// over it, cold tables' derived indexes are evicted (base data
+	// never is). 0 means unlimited.
+	StoreByteBudget int64
 }
 
 func (o Options) withDefaults() Options {
@@ -88,25 +94,18 @@ var ErrInternal = errors.New("internal pipeline failure")
 // clients should back off and retry. Match it with errors.Is.
 var ErrOverloaded = errors.New("engine overloaded")
 
-// tableEntry is one registered table plus its content version and a
-// dedicated semantic parser. The parser is uncached: candidate pools
-// are memoized only in the engine's version-keyed LRU, so parse
-// results cannot outlive the table content they were computed from and
-// parser memory cannot grow with the number of distinct questions.
-type tableEntry struct {
-	t       *table.Table
-	version string
-	parser  *semparse.Parser
-}
-
 // Engine is the concurrent explanation pipeline. It is safe for
 // concurrent use; cached *Explanation values are shared between callers
 // and must be treated as immutable.
+//
+// Table state lives in the versioned store (internal/store): every
+// request pins an immutable snapshot, so registrations, appends and
+// drops never tear an execution in flight, and each mutation's
+// invalidation hook synchronously purges the displaced version's
+// entries from the result/plan/answer/parse LRUs.
 type Engine struct {
-	opts Options
-
-	mu     sync.RWMutex
-	tables map[string]*tableEntry
+	opts  Options
+	store *store.Store
 
 	asts       *lruCache // query string -> dcs.Expr
 	plans      *lruCache // table version + query -> *dcs.Compiled
@@ -127,9 +126,12 @@ type Engine struct {
 // New builds an Engine with the given options (zero value = defaults).
 func New(opts Options) *Engine {
 	opts = opts.withDefaults()
-	return &Engine{
-		opts:       opts,
-		tables:     make(map[string]*tableEntry),
+	e := &Engine{
+		opts: opts,
+		store: store.New(store.Options{
+			Shards:     opts.StoreShards,
+			ByteBudget: opts.StoreByteBudget,
+		}),
 		asts:       newLRU(opts.CacheSize),
 		plans:      newLRU(opts.CacheSize),
 		results:    newLRU(opts.CacheSize),
@@ -139,51 +141,60 @@ func New(opts Options) *Engine {
 		sem:        make(chan struct{}, opts.Workers),
 		admit:      make(chan struct{}, opts.MaxPending),
 	}
+	// Version-scoped invalidation: the store delivers every replace and
+	// drop synchronously, so by the time a mutation returns, no cache
+	// can serve the displaced version. (A computation already in flight
+	// against the old snapshot may still publish under the old version
+	// afterwards; such entries are unreachable — lookups key on the
+	// current version — and age out of the LRU.) Re-registering
+	// identical content keeps its version, so an idempotent re-POST
+	// must not wipe the still-valid entries.
+	e.store.OnEvent(func(ev store.Event) {
+		if ev.Old == nil {
+			return
+		}
+		if ev.New != nil && ev.New.Version() == ev.Old.Version() {
+			return
+		}
+		e.purgeVersion(ev.Old.Version())
+	})
+	return e
+}
+
+// Store exposes the engine's versioned table store (stats, direct
+// snapshot access for tests and embedders).
+func (e *Engine) Store() *store.Store { return e.store }
+
+// purgeVersion eagerly removes every cache entry scoped to a displaced
+// table version from the result, plan, answer and parse LRUs.
+func (e *Engine) purgeVersion(version string) {
+	e.results.purgePrefix(version + "\x00")
+	e.plans.purgePrefix("plan\x00" + version + "\x00")
+	e.answers.purgePrefix("answer\x00" + version + "\x00")
+	e.parseCache.purgePrefix("parse\x00" + version + "\x00")
 }
 
 // TableInfo describes one registered table.
 type TableInfo struct {
 	Name    string `json:"name"`
 	Version string `json:"version"`
-	Rows    int    `json:"rows"`
-	Cols    int    `json:"cols"`
+	// Generation is the store's monotonic install counter: unique per
+	// mutation even when content (and therefore Version) repeats.
+	Generation uint64 `json:"generation"`
+	Rows       int    `json:"rows"`
+	Cols       int    `json:"cols"`
 }
 
-// tableVersion fingerprints a table's full content; explanation cache
-// keys embed it, so re-registering a changed table under the same name
-// invalidates every cached result without any explicit flush. Strings
-// are length-prefixed (not just delimited — cells may legally contain
-// any byte) and the shape is hashed explicitly, so neither shifted
-// cell boundaries nor reshaped identical text can collide.
-func tableVersion(t *table.Table) string {
-	h := fnv.New64a()
-	write := func(s string) {
-		var n [8]byte
-		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
-		h.Write(n[:])
-		h.Write([]byte(s))
-	}
-	write(t.Name())
-	write(fmt.Sprintf("%dx%d", t.NumRows(), t.NumCols()))
-	for _, c := range t.Columns() {
-		write(c)
-	}
-	for r := 0; r < t.NumRows(); r++ {
-		for c := 0; c < t.NumCols(); c++ {
-			write(t.Raw(r, c))
-		}
-	}
-	return fmt.Sprintf("%016x", h.Sum64())
+func infoOf(s *store.Snapshot) TableInfo {
+	t := s.Table()
+	return TableInfo{Name: t.Name(), Version: s.Version(), Generation: s.Gen(), Rows: t.NumRows(), Cols: t.NumCols()}
 }
 
 // RegisterTable adds (or replaces) a pre-built table under its own
-// name and returns its registry info.
+// name and returns its registry info. Replacing a name synchronously
+// purges the displaced version's entries from every cache.
 func (e *Engine) RegisterTable(t *table.Table) TableInfo {
-	entry := &tableEntry{t: t, version: tableVersion(t), parser: semparse.NewUncachedParser()}
-	e.mu.Lock()
-	e.tables[t.Name()] = entry
-	e.mu.Unlock()
-	return TableInfo{Name: t.Name(), Version: entry.version, Rows: t.NumRows(), Cols: t.NumCols()}
+	return infoOf(e.store.Register(t))
 }
 
 // RegisterRaw builds a table from a header and raw rows (cells are
@@ -196,24 +207,49 @@ func (e *Engine) RegisterRaw(name string, columns []string, rows [][]string) (Ta
 	return e.RegisterTable(t), nil
 }
 
+// AppendRows installs a copy-on-write successor of a registered table
+// with rows appended, bumping the generation and synchronously purging
+// the old version's cache entries. Queries in flight keep the snapshot
+// they pinned.
+func (e *Engine) AppendRows(name string, rows [][]string) (TableInfo, error) {
+	snap, err := e.store.Append(name, rows)
+	if err != nil {
+		if errors.Is(err, store.ErrUnknownTable) {
+			e.ctr.errors.Add(1)
+			return TableInfo{}, fmt.Errorf("%w: %q", ErrUnknownTable, name)
+		}
+		return TableInfo{}, err
+	}
+	return infoOf(snap), nil
+}
+
+// DropTable removes a table from the store, returning its final
+// registry info and whether it existed. Its cache entries are purged
+// synchronously; snapshots already pinned by in-flight queries stay
+// readable.
+func (e *Engine) DropTable(name string) (TableInfo, bool) {
+	snap, ok := e.store.Drop(name)
+	if !ok {
+		return TableInfo{}, false
+	}
+	return infoOf(snap), true
+}
+
 // Table returns a registered table and its version.
 func (e *Engine) Table(name string) (*table.Table, string, bool) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	entry, ok := e.tables[name]
+	snap, ok := e.store.Get(name)
 	if !ok {
 		return nil, "", false
 	}
-	return entry.t, entry.version, true
+	return snap.Table(), snap.Version(), true
 }
 
 // Tables lists the registry, in unspecified order.
 func (e *Engine) Tables() []TableInfo {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	out := make([]TableInfo, 0, len(e.tables))
-	for name, entry := range e.tables {
-		out = append(out, TableInfo{Name: name, Version: entry.version, Rows: entry.t.NumRows(), Cols: entry.t.NumCols()})
+	snaps := e.store.Snapshots()
+	out := make([]TableInfo, 0, len(snaps))
+	for _, s := range snaps {
+		out = append(out, infoOf(s))
 	}
 	return out
 }
@@ -286,17 +322,17 @@ func (e *Engine) parseQuery(src string) (dcs.Expr, error) {
 }
 
 // compiledPlan resolves a query's compiled relational plan through
-// the plan LRU, keyed on table version so a re-registered table can
+// the plan LRU, keyed on snapshot version so a mutated table can
 // never serve a stale plan. Compiled plans are table-bound, immutable
 // and safe to share across concurrent executions.
-func (e *Engine) compiledPlan(entry *tableEntry, q dcs.Expr, query string) (*dcs.Compiled, error) {
-	key := "plan\x00" + entry.version + "\x00" + query
+func (e *Engine) compiledPlan(snap *store.Snapshot, q dcs.Expr, query string) (*dcs.Compiled, error) {
+	key := "plan\x00" + snap.Version() + "\x00" + query
 	if v, ok := e.plans.get(key); ok {
 		e.ctr.planHits.Add(1)
 		return v.(*dcs.Compiled), nil
 	}
 	e.ctr.planMisses.Add(1)
-	c, err := dcs.Compile(q, entry.t)
+	c, err := dcs.Compile(q, snap.Table())
 	if err != nil {
 		return nil, err
 	}
@@ -308,29 +344,33 @@ func (e *Engine) compiledPlan(entry *tableEntry, q dcs.Expr, query string) (*dcs
 // compile through the plan cache, then the shared export pipeline
 // (execute, provenance+highlight, sample, utter, translate), then the
 // engine's extra provenance projection.
-func (e *Engine) compute(entry *tableEntry, tableName, query string) (*Explanation, error) {
+func (e *Engine) compute(snap *store.Snapshot, tableName, query string) (*Explanation, error) {
 	start := time.Now()
 	q, err := e.parseQuery(query)
 	if err != nil {
 		return nil, fmt.Errorf("parsing %q: %w", query, err)
 	}
-	c, err := e.compiledPlan(entry, q, query)
+	c, err := e.compiledPlan(snap, q, query)
 	if err != nil {
 		return nil, fmt.Errorf("compiling %s on %s: %w", q, tableName, err)
 	}
-	doc, h, err := export.BuildCompiled(c, entry.t, e.opts.SampleThreshold)
+	// Resolve the table through the snapshot handle once; the whole
+	// export pipeline (execute, provenance, sample) reads this one
+	// pinned state.
+	tab := snap.PlanTable()
+	doc, h, err := export.BuildCompiled(c, tab, e.opts.SampleThreshold)
 	if err != nil {
 		return nil, fmt.Errorf("explaining %s on %s: %w", q, tableName, err)
 	}
 	ex := &Explanation{
 		Table:      tableName,
-		Version:    entry.version,
+		Version:    snap.Version(),
 		Query:      doc.Query,
 		Utterance:  doc.Utterance,
 		SQL:        doc.SQL,
 		Result:     doc.Result,
 		Grid:       doc.Table,
-		Provenance: provJSON(entry.t, h.Prov),
+		Provenance: provJSON(tab, h.Prov),
 	}
 	e.ctr.executions.Add(1)
 	e.ctr.latencyNanos.Add(uint64(time.Since(start)))
@@ -370,16 +410,17 @@ func (e *Engine) ExplainCached(ctx context.Context, tableName, query string) (*E
 	return e.explain(ctx, tableName, query)
 }
 
-// explain is Explain plus a cache-hit indicator.
+// explain is Explain plus a cache-hit indicator. It pins the table's
+// current snapshot up front: the whole computation (compile, execute,
+// provenance) reads that one consistent state even if mutations
+// install newer generations meanwhile.
 func (e *Engine) explain(ctx context.Context, tableName, query string) (*Explanation, bool, error) {
-	e.mu.RLock()
-	entry, ok := e.tables[tableName]
-	e.mu.RUnlock()
+	snap, ok := e.store.Get(tableName)
 	if !ok {
 		e.ctr.errors.Add(1)
 		return nil, false, fmt.Errorf("%w: %q", ErrUnknownTable, tableName)
 	}
-	key := entry.version + "\x00" + query
+	key := snap.Version() + "\x00" + query
 	if v, ok := e.results.get(key); ok {
 		e.ctr.resultHits.Add(1)
 		return v.(*Explanation), true, nil
@@ -401,7 +442,7 @@ func (e *Engine) explain(ctx context.Context, tableName, query string) (*Explana
 	if leader {
 		e.startPipeline(key, call,
 			func() (any, error) {
-				ex, err := e.compute(entry, tableName, query)
+				ex, err := e.compute(snap, tableName, query)
 				if err != nil {
 					return nil, err
 				}
@@ -441,14 +482,12 @@ type Answer struct {
 // in-flight deduplication with Explain, plus its own result LRU. The
 // second return reports whether the answer came from that cache.
 func (e *Engine) ExplainAnswer(ctx context.Context, tableName, query string) (*Answer, bool, error) {
-	e.mu.RLock()
-	entry, ok := e.tables[tableName]
-	e.mu.RUnlock()
+	snap, ok := e.store.Get(tableName)
 	if !ok {
 		e.ctr.errors.Add(1)
 		return nil, false, fmt.Errorf("%w: %q", ErrUnknownTable, tableName)
 	}
-	key := "answer\x00" + entry.version + "\x00" + query
+	key := "answer\x00" + snap.Version() + "\x00" + query
 	if v, ok := e.answers.get(key); ok {
 		e.ctr.answerHits.Add(1)
 		return v.(*Answer), true, nil
@@ -463,7 +502,7 @@ func (e *Engine) ExplainAnswer(ctx context.Context, tableName, query string) (*A
 	call, leader := e.joinInflight(key)
 	if leader {
 		e.startPipeline(key, call,
-			func() (any, error) { return e.computeAnswer(entry, tableName, query) },
+			func() (any, error) { return e.computeAnswer(snap, tableName, query) },
 			func(v any) { e.answers.put(key, v) })
 	}
 	select {
@@ -481,21 +520,21 @@ func (e *Engine) ExplainAnswer(ctx context.Context, tableName, query string) (*A
 
 // computeAnswer runs the uncached answer-only path: shared AST and
 // plan caches, then execution with witness capture off.
-func (e *Engine) computeAnswer(entry *tableEntry, tableName, query string) (*Answer, error) {
+func (e *Engine) computeAnswer(snap *store.Snapshot, tableName, query string) (*Answer, error) {
 	start := time.Now()
 	q, err := e.parseQuery(query)
 	if err != nil {
 		return nil, fmt.Errorf("parsing %q: %w", query, err)
 	}
-	c, err := e.compiledPlan(entry, q, query)
+	c, err := e.compiledPlan(snap, q, query)
 	if err != nil {
 		return nil, fmt.Errorf("compiling %s on %s: %w", q, tableName, err)
 	}
-	res, err := c.ExecuteWith(entry.t, plan.Noop{})
+	res, err := c.ExecuteSource(snap, plan.Noop{})
 	if err != nil {
 		return nil, fmt.Errorf("answering %s on %s: %w", q, tableName, err)
 	}
-	ans := &Answer{Table: tableName, Version: entry.version, Query: query, Result: res.String()}
+	ans := &Answer{Table: tableName, Version: snap.Version(), Query: query, Result: res.String()}
 	e.ctr.answersComputed.Add(1)
 	e.ctr.latencyNanos.Add(uint64(time.Since(start)))
 	return ans, nil
@@ -646,9 +685,7 @@ type RankedCandidate struct {
 // candidate queries via the log-linear semantic parser (Figure 2's
 // deployment flow). topK <= 0 uses the parser's default (7).
 func (e *Engine) ParseQuestion(ctx context.Context, tableName, question string, topK int) ([]RankedCandidate, error) {
-	e.mu.RLock()
-	entry, ok := e.tables[tableName]
-	e.mu.RUnlock()
+	snap, ok := e.store.Get(tableName)
 	if !ok {
 		e.ctr.errors.Add(1)
 		return nil, fmt.Errorf("%w: %q", ErrUnknownTable, tableName)
@@ -669,7 +706,7 @@ func (e *Engine) ParseQuestion(ctx context.Context, tableName, question string, 
 	// ParseAll (not Parse) so a topK above the parser's display
 	// default is honored; the pools are read-only once published, safe
 	// to share across waiters.
-	key := "parse\x00" + entry.version + "\x00" + question
+	key := "parse\x00" + snap.Version() + "\x00" + question
 	var cands []*semparse.Candidate
 	if v, ok := e.parseCache.get(key); ok {
 		e.ctr.parseHits.Add(1)
@@ -679,7 +716,7 @@ func (e *Engine) ParseQuestion(ctx context.Context, tableName, question string, 
 		call, leader := e.joinInflight(key)
 		if leader {
 			e.startPipeline(key, call,
-				func() (any, error) { return entry.parser.ParseAll(question, entry.t), nil },
+				func() (any, error) { return snap.Parser().ParseAll(question, snap.Table()), nil },
 				func(v any) { e.parseCache.put(key, v) })
 		}
 		select {
@@ -695,7 +732,7 @@ func (e *Engine) ParseQuestion(ctx context.Context, tableName, question string, 
 		}
 	}
 	if topK <= 0 {
-		topK = entry.parser.TopK
+		topK = snap.Parser().TopK
 	}
 	if topK > 0 && len(cands) > topK {
 		cands = cands[:topK]

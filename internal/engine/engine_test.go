@@ -170,37 +170,6 @@ func TestReRegisterInvalidatesCache(t *testing.T) {
 	}
 }
 
-func TestVersionDistinguishesShape(t *testing.T) {
-	// Same name and same flat cell text in a different shape must not
-	// collide: a collision would serve one table's cached grid for
-	// the other.
-	wide, err := table.New("t", []string{"a", "b"}, [][]string{{"x", "y"}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	tall, err := table.New("t", []string{"a"}, [][]string{{"b"}, {"x"}, {"y"}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if tableVersion(wide) == tableVersion(tall) {
-		t.Errorf("versions collide for different shapes: %s", tableVersion(wide))
-	}
-
-	// Cells may contain any byte, including NUL: shifting a NUL across
-	// a cell boundary must still change the version.
-	a, err := table.New("t", []string{"c", "d"}, [][]string{{"a\x00", "b"}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := table.New("t", []string{"c", "d"}, [][]string{{"a", "\x00b"}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if tableVersion(a) == tableVersion(b) {
-		t.Errorf("versions collide across shifted NUL boundary: %s", tableVersion(a))
-	}
-}
-
 func TestExplainErrors(t *testing.T) {
 	e := newTestEngine(t)
 	ctx := context.Background()

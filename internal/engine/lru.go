@@ -2,6 +2,7 @@ package engine
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 )
 
@@ -54,6 +55,22 @@ func (c *lruCache) put(key string, val any) {
 		back := c.order.Back()
 		c.order.Remove(back)
 		delete(c.items, back.Value.(*lruEntry).key)
+	}
+}
+
+// purgePrefix removes every entry whose key starts with prefix — the
+// version-scoped invalidation primitive: cache keys embed the table
+// version right after their kind tag, so one prefix sweep evicts
+// exactly the displaced version's entries. O(n) over the cache, which
+// is bounded by cap.
+func (c *lruCache) purgePrefix(prefix string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.items {
+		if strings.HasPrefix(key, prefix) {
+			c.order.Remove(el)
+			delete(c.items, key)
+		}
 	}
 }
 

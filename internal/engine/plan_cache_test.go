@@ -10,7 +10,7 @@ import (
 // eviction or concurrent misses) must hit the plan cache.
 func TestPlanCacheHitMiss(t *testing.T) {
 	e := newTestEngine(t)
-	entry, ok := e.tables["olympics"]
+	entry, ok := e.store.Get("olympics")
 	if !ok {
 		t.Fatal("olympics not registered")
 	}
@@ -41,7 +41,7 @@ func TestPlanCacheHitMiss(t *testing.T) {
 // version in the key changes, so the next compute misses.
 func TestPlanCacheKeyedByVersion(t *testing.T) {
 	e := newTestEngine(t)
-	entry := e.tables["olympics"]
+	entry, _ := e.store.Get("olympics")
 	const q = "count(Country.Greece)"
 	if _, err := e.compute(entry, "olympics", q); err != nil {
 		t.Fatal(err)
@@ -52,8 +52,8 @@ func TestPlanCacheKeyedByVersion(t *testing.T) {
 		[][]string{{"2024", "Paris", "France", "206"}}); err != nil {
 		t.Fatal(err)
 	}
-	entry2 := e.tables["olympics"]
-	if entry2.version == entry.version {
+	entry2, _ := e.store.Get("olympics")
+	if entry2.Version() == entry.Version() {
 		t.Fatal("version unchanged after re-register")
 	}
 	if _, err := e.compute(entry2, "olympics", q); err != nil {

@@ -57,13 +57,19 @@ type Stats struct {
 	Parses          uint64  `json:"parses"`
 	AvgLatencyMs    float64 `json:"avg_latency_ms"`
 	TotalLatencyS   float64 `json:"total_latency_s"`
+	// Store gauges: resident-byte estimate, derived-index evictions
+	// under budget pressure, catalog size and the monotonic generation
+	// counter of the versioned table store.
+	StoreBytes     int64  `json:"store_bytes"`
+	StoreEvictions uint64 `json:"store_evictions"`
+	StoreTables    int    `json:"store_tables"`
+	StoreGen       uint64 `json:"store_generation"`
 }
 
 // Stats snapshots the engine's counters and cache sizes.
 func (e *Engine) Stats() Stats {
-	e.mu.RLock()
-	tables := len(e.tables)
-	e.mu.RUnlock()
+	st := e.store.Stats()
+	tables := st.Tables
 	execs := e.ctr.executions.Load()
 	answers := e.ctr.answersComputed.Load()
 	nanos := e.ctr.latencyNanos.Load()
@@ -92,6 +98,10 @@ func (e *Engine) Stats() Stats {
 		Batches:         e.ctr.batches.Load(),
 		Parses:          e.ctr.parses.Load(),
 		TotalLatencyS:   float64(nanos) / 1e9,
+		StoreBytes:      st.Bytes,
+		StoreEvictions:  st.Evictions,
+		StoreTables:     st.Tables,
+		StoreGen:        st.Gen,
 	}
 	if computed := execs + answers; computed > 0 {
 		s.AvgLatencyMs = float64(nanos) / float64(computed) / 1e6

@@ -39,6 +39,19 @@ func Run(n Node, t *table.Table, tr Tracer) (*Val, error) {
 	return ex.run(n)
 }
 
+// Source is a snapshot handle: anything that pins one immutable table
+// for the duration of a plan execution. The versioned table store's
+// snapshots implement it, so scans read through the snapshot a request
+// acquired rather than through a mutable registry — concurrent table
+// mutations install new snapshots without ever being observed by an
+// execution already in flight. Executors resolve the table from the
+// source exactly once, at execution start (see dcs.ExecuteSource).
+type Source interface {
+	// PlanTable returns the pinned immutable table. Implementations
+	// must return the same table for the handle's whole lifetime.
+	PlanTable() *table.Table
+}
+
 type executor struct {
 	t     *table.Table
 	tr    Tracer

@@ -1,0 +1,459 @@
+// Package store is the versioned table storage layer behind the
+// explanation engine: a sharded catalog of immutable table snapshots
+// with a monotonic generation counter, live mutation (append, replace,
+// drop), synchronous invalidation hooks, and per-table memory
+// accounting against a configurable byte budget.
+//
+// The catalog is lock-striped: table names hash (FNV-1a) onto a fixed
+// set of shards, each guarded by its own RWMutex, so registration
+// traffic on one table never serializes reads of another. Within a
+// shard, reads take only the read lock and return a pointer — snapshot
+// acquisition is O(1) and copies nothing.
+//
+// Every table state is an immutable Snapshot carrying the table, a
+// content-hash version, a store-wide monotonic generation, and the
+// table's dedicated semantic parser. Mutations never modify a
+// published snapshot: they build a successor (copy-on-write through
+// table.Append, or a whole new table) and swap the catalog pointer, so
+// an execution that acquired a snapshot keeps reading a consistent
+// table while newer generations install around it.
+//
+// Memory accounting tracks, per table, the base footprint (cells,
+// dictionary-interned strings, KB index) plus the lazily built sorted
+// numeric indexes. When the resident estimate exceeds Options.ByteBudget
+// the store evicts cold tables' derived indexes — never base data — in
+// least-recently-used order.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"nlexplain/internal/semparse"
+	"nlexplain/internal/table"
+)
+
+// ErrUnknownTable reports a mutation against a name not in the
+// catalog; match it with errors.Is.
+var ErrUnknownTable = errors.New("store: unknown table")
+
+// Options configures a Store. The zero value selects defaults.
+type Options struct {
+	// Shards is the number of lock stripes. Default 16.
+	Shards int
+	// ByteBudget bounds the store's resident-byte estimate (base data
+	// plus derived indexes across all tables). When the estimate
+	// exceeds it, cold tables' derived indexes are evicted. 0 means no
+	// budget (never evict).
+	ByteBudget int64
+	// NewParser builds the dedicated semantic parser each snapshot
+	// owns. Default semparse.NewUncachedParser (candidate pools are
+	// memoized outside the store, keyed by snapshot version).
+	NewParser func() *semparse.Parser
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 16
+	}
+	if o.NewParser == nil {
+		o.NewParser = semparse.NewUncachedParser
+	}
+	return o
+}
+
+// EventKind classifies a catalog mutation.
+type EventKind int
+
+const (
+	// Registered is a table installed under a previously unused name.
+	Registered EventKind = iota
+	// Replaced is a new snapshot installed over an existing one
+	// (re-registration or AppendRows).
+	Replaced
+	// Dropped is a table removed from the catalog.
+	Dropped
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case Registered:
+		return "registered"
+	case Replaced:
+		return "replaced"
+	case Dropped:
+		return "dropped"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event describes one catalog mutation, delivered synchronously to
+// hooks before the mutating call returns. Old is nil for fresh
+// registrations, New is nil for drops.
+type Event struct {
+	Kind EventKind
+	Name string
+	Old  *Snapshot
+	New  *Snapshot
+}
+
+// Snapshot is one immutable table state: acquired O(1) by readers,
+// never modified after install. It implements plan.Source, so plan
+// executions read through the snapshot they pinned.
+type Snapshot struct {
+	t       *table.Table
+	version string
+	gen     uint64
+	parser  *semparse.Parser
+	// lastUsed is the store's logical access clock at the snapshot's
+	// most recent acquisition; the eviction scan orders tables by it.
+	lastUsed atomic.Uint64
+}
+
+// Table returns the snapshot's immutable table.
+func (s *Snapshot) Table() *table.Table { return s.t }
+
+// PlanTable implements plan.Source.
+func (s *Snapshot) PlanTable() *table.Table { return s.t }
+
+// Version is the content-hash fingerprint of the snapshot's table:
+// cache keys embed it, so two snapshots with identical content share
+// cached results and any content change invalidates them.
+func (s *Snapshot) Version() string { return s.version }
+
+// Gen is the store-wide monotonic generation at which this snapshot
+// was installed; unlike Version it is unique per install, so it stamps
+// mutation order even when content repeats.
+func (s *Snapshot) Gen() uint64 { return s.gen }
+
+// Parser returns the snapshot's dedicated semantic parser.
+func (s *Snapshot) Parser() *semparse.Parser { return s.parser }
+
+// shard is one lock stripe of the catalog. mu guards the map only;
+// mutMu serializes mutations of the shard's tables so expensive
+// successor builds (table.Append re-deriving indexes) happen outside
+// mu and readers are never blocked behind them.
+type shard struct {
+	mu     sync.RWMutex
+	mutMu  sync.Mutex
+	tables map[string]*Snapshot
+}
+
+// Store is the sharded versioned catalog. It is safe for concurrent
+// use.
+type Store struct {
+	opts   Options
+	shards []*shard
+
+	gen       atomic.Uint64 // monotonic generation counter
+	clock     atomic.Uint64 // logical access clock for recency
+	bytes     atomic.Int64  // resident estimate: base + derived, all tables
+	evictions atomic.Uint64 // derived-index eviction count
+
+	hookMu sync.RWMutex
+	hooks  []func(Event)
+
+	evictMu sync.Mutex // serializes eviction scans
+}
+
+// New builds a Store (zero Options = defaults).
+func New(opts Options) *Store {
+	opts = opts.withDefaults()
+	st := &Store{opts: opts, shards: make([]*shard, opts.Shards)}
+	for i := range st.shards {
+		st.shards[i] = &shard{tables: make(map[string]*Snapshot)}
+	}
+	return st
+}
+
+// OnEvent registers a hook called synchronously for every catalog
+// mutation, after the new state is installed and before the mutating
+// call returns — which is what lets the engine purge version-scoped
+// cache entries eagerly instead of waiting for LRU eviction. Hooks
+// must not call back into the store's mutation methods.
+func (st *Store) OnEvent(fn func(Event)) {
+	st.hookMu.Lock()
+	st.hooks = append(st.hooks, fn)
+	st.hookMu.Unlock()
+}
+
+func (st *Store) fire(ev Event) {
+	st.hookMu.RLock()
+	hooks := st.hooks
+	st.hookMu.RUnlock()
+	for _, fn := range hooks {
+		fn(ev)
+	}
+}
+
+func (st *Store) shardFor(name string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return st.shards[h.Sum32()%uint32(len(st.shards))]
+}
+
+// Get acquires the current snapshot of a table: one shard read-lock,
+// one map probe, no copying — O(1) regardless of table size. The
+// snapshot stays fully readable even if the table is mutated or
+// dropped afterwards.
+func (st *Store) Get(name string) (*Snapshot, bool) {
+	sh := st.shardFor(name)
+	sh.mu.RLock()
+	s, ok := sh.tables[name]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	s.lastUsed.Store(st.clock.Add(1))
+	return s, true
+}
+
+// Len reports the number of tables in the catalog.
+func (st *Store) Len() int {
+	n := 0
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		n += len(sh.tables)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Snapshots returns the current snapshot of every table, in
+// unspecified order.
+func (st *Store) Snapshots() []*Snapshot {
+	var out []*Snapshot
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		for _, s := range sh.tables {
+			out = append(out, s)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// newSnapshot wraps a table into an installable snapshot, assigning
+// the next generation.
+func (st *Store) newSnapshot(t *table.Table) *Snapshot {
+	return &Snapshot{
+		t:       t,
+		version: contentVersion(t),
+		gen:     st.gen.Add(1),
+		parser:  st.opts.NewParser(),
+	}
+}
+
+// install publishes snap under name, returning the snapshot it
+// displaced (nil if none). Callers hold sh.mutMu, which serializes all
+// mutations of the shard, so the pre-publication read of the displaced
+// snapshot cannot go stale.
+func (st *Store) install(sh *shard, name string, snap *Snapshot) *Snapshot {
+	snap.lastUsed.Store(st.clock.Add(1))
+	sh.mu.RLock()
+	old := sh.tables[name]
+	sh.mu.RUnlock()
+	// Re-registering the very same table object must neither release
+	// its accounting nor double-book it; otherwise account the new
+	// table BEFORE publication — it is unreachable until it lands in
+	// the map, so no concurrent index build can slip between the
+	// footprint booking and the hook attach.
+	fresh := old == nil || old.t != snap.t
+	if fresh {
+		snap.t.SetMemHook(st.derivedDelta)
+		st.bytes.Add(snap.t.BaseBytes() + snap.t.DerivedBytes())
+	}
+	sh.mu.Lock()
+	sh.tables[name] = snap
+	sh.mu.Unlock()
+	if fresh && old != nil {
+		st.release(old)
+	}
+	st.maybeEvict()
+	return old
+}
+
+// release detaches a displaced snapshot from the accounting: its
+// future index builds no longer count, and its current footprint is
+// subtracted. A build racing the detach may land uncounted in either
+// direction; the estimate tolerates that, and the floor clamp in
+// Stats keeps the gauge sane.
+func (st *Store) release(old *Snapshot) {
+	old.t.SetMemHook(nil)
+	st.bytes.Add(-(old.t.BaseBytes() + old.t.DerivedBytes()))
+}
+
+// Register installs t under its own name, replacing any existing
+// snapshot of that name, and returns the new snapshot. The replaced
+// snapshot (nil if none) is delivered to hooks before Register
+// returns.
+func (st *Store) Register(t *table.Table) *Snapshot {
+	name := t.Name()
+	sh := st.shardFor(name)
+	sh.mutMu.Lock()
+	defer sh.mutMu.Unlock()
+	snap := st.newSnapshot(t)
+	old := st.install(sh, name, snap)
+	kind := Registered
+	if old != nil {
+		kind = Replaced
+	}
+	st.fire(Event{Kind: kind, Name: name, Old: old, New: snap})
+	return snap
+}
+
+// Append builds the copy-on-write successor of a table with rows
+// appended and installs it as a new snapshot. In-flight readers keep
+// the snapshot they pinned; the expensive successor build runs outside
+// the shard's read path, so concurrent Gets never block on it.
+func (st *Store) Append(name string, rows [][]string) (*Snapshot, error) {
+	sh := st.shardFor(name)
+	sh.mutMu.Lock()
+	defer sh.mutMu.Unlock()
+	sh.mu.RLock()
+	cur, ok := sh.tables[name]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTable, name)
+	}
+	nt, err := cur.t.Append(rows)
+	if err != nil {
+		return nil, err
+	}
+	snap := st.newSnapshot(nt)
+	st.install(sh, name, snap)
+	st.fire(Event{Kind: Replaced, Name: name, Old: cur, New: snap})
+	return snap, nil
+}
+
+// Drop removes a table from the catalog, returning its final snapshot.
+// The drop is delivered to hooks before Drop returns; snapshots
+// already acquired stay readable.
+func (st *Store) Drop(name string) (*Snapshot, bool) {
+	sh := st.shardFor(name)
+	sh.mutMu.Lock()
+	defer sh.mutMu.Unlock()
+	sh.mu.Lock()
+	old, ok := sh.tables[name]
+	delete(sh.tables, name)
+	sh.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	st.release(old)
+	st.fire(Event{Kind: Dropped, Name: name, Old: old})
+	return old, true
+}
+
+// derivedDelta is the memory hook installed on every resident table:
+// it books index builds and drops into the store's byte estimate and
+// triggers the budget check on growth.
+func (st *Store) derivedDelta(delta int64) {
+	st.bytes.Add(delta)
+	if delta > 0 {
+		st.maybeEvict()
+	}
+}
+
+// maybeEvict enforces the byte budget: while the resident estimate
+// exceeds it, drop the derived indexes of the least recently used
+// tables. Base data is never evicted, and when the budget is
+// unattainable — base data alone exceeds it, so no amount of index
+// dropping can reach it — the sweep evicts nothing rather than
+// thrashing (dropping every index the moment a query rebuilds it);
+// the store then simply stays over budget.
+func (st *Store) maybeEvict() {
+	if st.opts.ByteBudget <= 0 || st.bytes.Load() <= st.opts.ByteBudget {
+		return
+	}
+	st.evictMu.Lock()
+	defer st.evictMu.Unlock()
+	if st.bytes.Load() <= st.opts.ByteBudget {
+		return // another evictor got here first
+	}
+	type cand struct {
+		snap    *Snapshot
+		used    uint64
+		derived int64
+	}
+	var cands []cand
+	var reclaimable int64
+	for _, snap := range st.Snapshots() {
+		if d := snap.t.DerivedBytes(); d > 0 {
+			cands = append(cands, cand{snap: snap, used: snap.lastUsed.Load(), derived: d})
+			reclaimable += d
+		}
+	}
+	if st.bytes.Load()-reclaimable > st.opts.ByteBudget {
+		return // unattainable: evicting every index still leaves us over
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].used < cands[j].used })
+	for _, c := range cands {
+		if st.bytes.Load() <= st.opts.ByteBudget {
+			return
+		}
+		if c.snap.t.DropDerivedIndexes() > 0 {
+			st.evictions.Add(1)
+		}
+	}
+}
+
+// Stats is a scrape-ready snapshot of the store's gauges.
+type Stats struct {
+	// Tables is the catalog size.
+	Tables int `json:"store_tables"`
+	// Bytes is the resident estimate (base + derived, all tables).
+	Bytes int64 `json:"store_bytes"`
+	// Evictions counts derived-index evictions under budget pressure.
+	Evictions uint64 `json:"store_evictions"`
+	// Gen is the current value of the monotonic generation counter.
+	Gen uint64 `json:"store_generation"`
+}
+
+// Stats snapshots the store's counters.
+func (st *Store) Stats() Stats {
+	b := st.bytes.Load()
+	if b < 0 {
+		b = 0
+	}
+	return Stats{
+		Tables:    st.Len(),
+		Bytes:     b,
+		Evictions: st.evictions.Load(),
+		Gen:       st.gen.Load(),
+	}
+}
+
+// contentVersion fingerprints a table's full content; cache keys embed
+// it, so re-registering changed content under the same name
+// invalidates every cached result without any explicit flush. Strings
+// are length-prefixed (not just delimited — cells may legally contain
+// any byte) and the shape is hashed explicitly, so neither shifted
+// cell boundaries nor reshaped identical text can collide.
+func contentVersion(t *table.Table) string {
+	h := fnv.New64a()
+	write := func(s string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	write(t.Name())
+	write(fmt.Sprintf("%dx%d", t.NumRows(), t.NumCols()))
+	for _, c := range t.Columns() {
+		write(c)
+	}
+	for r := 0; r < t.NumRows(); r++ {
+		for c := 0; c < t.NumCols(); c++ {
+			write(t.Raw(r, c))
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

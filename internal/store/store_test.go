@@ -1,0 +1,369 @@
+package store
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"nlexplain/internal/table"
+)
+
+func mustTable(t *testing.T, name string, n int) *table.Table {
+	t.Helper()
+	rows := make([][]string, n)
+	for i := range rows {
+		rows[i] = []string{"nation" + strconv.Itoa(i%7), strconv.Itoa(1896 + 4*i), strconv.Itoa(i * 3)}
+	}
+	tab, err := table.New(name, []string{"Nation", "Year", "Games"}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestStoreRegisterGetDrop(t *testing.T) {
+	st := New(Options{})
+	if _, ok := st.Get("nope"); ok {
+		t.Fatal("Get on empty store succeeded")
+	}
+	snap := st.Register(mustTable(t, "a", 4))
+	if snap.Gen() == 0 {
+		t.Fatal("generation not assigned")
+	}
+	got, ok := st.Get("a")
+	if !ok || got != snap {
+		t.Fatalf("Get returned %v, want the registered snapshot", got)
+	}
+	if got.Table().NumRows() != 4 {
+		t.Fatalf("rows = %d, want 4", got.Table().NumRows())
+	}
+	if got.Parser() == nil {
+		t.Fatal("snapshot has no parser")
+	}
+	if st.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", st.Len())
+	}
+	old, ok := st.Drop("a")
+	if !ok || old != snap {
+		t.Fatal("Drop did not return the final snapshot")
+	}
+	if _, ok := st.Get("a"); ok {
+		t.Fatal("Get succeeded after Drop")
+	}
+	if _, ok := st.Drop("a"); ok {
+		t.Fatal("second Drop succeeded")
+	}
+}
+
+func TestStoreGenerationMonotonic(t *testing.T) {
+	st := New(Options{Shards: 4})
+	var last uint64
+	for i := range 20 {
+		snap := st.Register(mustTable(t, fmt.Sprintf("t%d", i%5), 3))
+		if snap.Gen() <= last {
+			t.Fatalf("generation %d not monotonic after %d", snap.Gen(), last)
+		}
+		last = snap.Gen()
+	}
+	if g := st.Stats().Gen; g != last {
+		t.Fatalf("Stats().Gen = %d, want %d", g, last)
+	}
+}
+
+func TestStoreAppendCopyOnWriteIsolation(t *testing.T) {
+	st := New(Options{})
+	st.Register(mustTable(t, "a", 3))
+	before, _ := st.Get("a")
+
+	snap, err := st.Append("a", [][]string{{"fiji", "2024", "9"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pinned snapshot still reads the pre-append state.
+	if before.Table().NumRows() != 3 {
+		t.Fatalf("pinned snapshot mutated: rows = %d, want 3", before.Table().NumRows())
+	}
+	if snap.Table().NumRows() != 4 {
+		t.Fatalf("appended snapshot rows = %d, want 4", snap.Table().NumRows())
+	}
+	if snap.Version() == before.Version() {
+		t.Fatal("append did not change the content version")
+	}
+	if snap.Gen() <= before.Gen() {
+		t.Fatal("append did not bump the generation")
+	}
+	if got, _ := st.Get("a"); got != snap {
+		t.Fatal("Get does not serve the appended snapshot")
+	}
+	if _, err := st.Append("nope", nil); err == nil {
+		t.Fatal("Append on unknown table succeeded")
+	}
+	if _, err := st.Append("a", [][]string{{"short"}}); err == nil {
+		t.Fatal("ragged append succeeded")
+	}
+}
+
+func TestStoreEventsFireSynchronously(t *testing.T) {
+	st := New(Options{})
+	var events []Event
+	st.OnEvent(func(ev Event) { events = append(events, ev) })
+
+	st.Register(mustTable(t, "a", 2))
+	st.Register(mustTable(t, "a", 3)) // replace
+	if _, err := st.Append("a", [][]string{{"x", "2000", "1"}}); err != nil {
+		t.Fatal(err)
+	}
+	st.Drop("a")
+
+	kinds := make([]EventKind, len(events))
+	for i, ev := range events {
+		kinds[i] = ev.Kind
+	}
+	want := []EventKind{Registered, Replaced, Replaced, Dropped}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d events %v, want %v", len(kinds), kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	if events[0].Old != nil || events[0].New == nil {
+		t.Fatal("Registered event must carry New only")
+	}
+	if events[1].Old == nil || events[1].New == nil {
+		t.Fatal("Replaced event must carry Old and New")
+	}
+	if events[3].Old == nil || events[3].New != nil {
+		t.Fatal("Dropped event must carry Old only")
+	}
+}
+
+func TestStoreVersionDistinguishesShape(t *testing.T) {
+	// Same name and same flat cell text in a different shape must not
+	// collide: a collision would serve one table's cached grid for the
+	// other.
+	wide := table.MustNew("t", []string{"a", "b"}, [][]string{{"x", "y"}})
+	tall := table.MustNew("t", []string{"a"}, [][]string{{"b"}, {"x"}, {"y"}})
+	if contentVersion(wide) == contentVersion(tall) {
+		t.Errorf("versions collide for different shapes: %s", contentVersion(wide))
+	}
+
+	// Cells may contain any byte, including NUL: shifting a NUL across
+	// a cell boundary must still change the version.
+	a := table.MustNew("t", []string{"c", "d"}, [][]string{{"a\x00", "b"}})
+	b := table.MustNew("t", []string{"c", "d"}, [][]string{{"a", "\x00b"}})
+	if contentVersion(a) == contentVersion(b) {
+		t.Errorf("versions collide across shifted NUL boundary: %s", contentVersion(a))
+	}
+}
+
+func TestStoreMemoryAccounting(t *testing.T) {
+	st := New(Options{})
+	tab := mustTable(t, "a", 32)
+	st.Register(tab)
+	base := st.Stats().Bytes
+	if base <= 0 {
+		t.Fatal("no base bytes accounted after register")
+	}
+	if base != tab.BaseBytes() {
+		t.Fatalf("store bytes %d != table base %d", base, tab.BaseBytes())
+	}
+
+	// Building a sorted index grows the estimate through the hook.
+	col, _ := tab.ColumnIndex("Year")
+	tab.NumericSortedRows(col)
+	if got := st.Stats().Bytes; got != base+tab.DerivedBytes() || tab.DerivedBytes() <= 0 {
+		t.Fatalf("store bytes %d after index build, want base %d + derived %d", got, base, tab.DerivedBytes())
+	}
+
+	// Dropping the table releases everything.
+	st.Drop("a")
+	if got := st.Stats().Bytes; got != 0 {
+		t.Fatalf("store bytes %d after drop, want 0", got)
+	}
+	// A dropped table's later index builds must not be charged.
+	tab.DropDerivedIndexes()
+	tab.NumericSortedRows(col)
+	if got := st.Stats().Bytes; got != 0 {
+		t.Fatalf("dropped table's index build charged %d bytes to the store", got)
+	}
+}
+
+// TestStoreEvictionOrdering pins the eviction policy: over budget, the
+// least recently used table loses its derived indexes first, base data
+// survives, and the indexes rebuild on demand.
+func TestStoreEvictionOrdering(t *testing.T) {
+	tabs := make([]*table.Table, 3)
+	for i := range tabs {
+		tabs[i] = mustTable(t, fmt.Sprintf("t%d", i), 64)
+	}
+	// Budget: all base data plus roughly one table's worth of indexes,
+	// so index builds on two further tables must push one eviction.
+	var baseTotal int64
+	for _, tab := range tabs {
+		baseTotal += tab.BaseBytes()
+	}
+	yearOf := func(tab *table.Table) int { c, _ := tab.ColumnIndex("Year"); return c }
+	gamesOf := func(tab *table.Table) int { c, _ := tab.ColumnIndex("Games"); return c }
+
+	st := New(Options{ByteBudget: baseTotal + 3*(64*8+24)})
+	for _, tab := range tabs {
+		st.Register(tab)
+	}
+
+	// Warm all three; then touch t1 and t2 again so t0 is coldest.
+	for _, tab := range tabs {
+		tab.NumericSortedRows(yearOf(tab))
+		tab.NumericSortedRows(gamesOf(tab))
+	}
+	st.Get("t1")
+	st.Get("t2")
+	// Trigger the budget check via a fresh build on the hottest table.
+	tabs[2].DropDerivedIndexes()
+	tabs[2].NumericSortedRows(yearOf(tabs[2]))
+
+	if ev := st.Stats().Evictions; ev == 0 {
+		t.Fatalf("no evictions under budget %d with bytes %d", st.opts.ByteBudget, st.Stats().Bytes)
+	}
+	if tabs[0].DerivedBytes() != 0 {
+		t.Fatalf("coldest table kept %d derived bytes", tabs[0].DerivedBytes())
+	}
+	// Base data must be fully intact and the index rebuildable.
+	if tabs[0].NumRows() != 64 {
+		t.Fatal("eviction touched base data")
+	}
+	if rows := tabs[0].NumericSortedRows(yearOf(tabs[0])); len(rows) != 64 {
+		t.Fatalf("rebuilt index has %d rows, want 64", len(rows))
+	}
+}
+
+// TestStoreUnattainableBudgetDoesNotThrash pins the misconfiguration
+// guard: when base data alone exceeds the budget, no index dropping
+// can reach it, so the sweep must evict nothing instead of discarding
+// every index the moment a query rebuilds it.
+func TestStoreUnattainableBudgetDoesNotThrash(t *testing.T) {
+	tab := mustTable(t, "a", 64)
+	st := New(Options{ByteBudget: tab.BaseBytes() / 2})
+	st.Register(tab)
+	col, _ := tab.ColumnIndex("Year")
+	for range 3 {
+		if rows := tab.NumericSortedRows(col); len(rows) != 64 {
+			t.Fatalf("index build returned %d rows", len(rows))
+		}
+	}
+	if tab.DerivedBytes() == 0 {
+		t.Fatal("index evicted under an unattainable budget (thrash)")
+	}
+	if ev := st.Stats().Evictions; ev != 0 {
+		t.Fatalf("%d evictions under an unattainable budget", ev)
+	}
+}
+
+// TestStoreConcurrentChurn hammers the catalog with interleaved
+// registrations, appends, drops and snapshot reads; run under -race it
+// proves readers never observe a torn state: a pinned snapshot's row
+// count and version stay coherent regardless of mutations around it.
+func TestStoreConcurrentChurn(t *testing.T) {
+	st := New(Options{Shards: 4})
+	var fired atomic.Uint64
+	st.OnEvent(func(Event) { fired.Add(1) })
+	names := []string{"a", "b", "c", "d", "e"}
+	for _, n := range names {
+		st.Register(mustTable(t, n, 8))
+	}
+
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := range 4 {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := names[w%len(names)]
+			for i := range iters {
+				switch i % 4 {
+				case 0:
+					st.Register(mustTable(t, name, 4+i%8))
+				case 1:
+					if _, err := st.Append(name, [][]string{{"x", "2000", strconv.Itoa(i)}}); err != nil {
+						// Legal: another goroutine dropped it.
+						continue
+					}
+				case 2:
+					st.Drop(name)
+					st.Register(mustTable(t, name, 8))
+				default:
+					st.Get(name)
+				}
+			}
+		}(w)
+	}
+	// Readers: every acquired snapshot must be internally consistent.
+	for range 4 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range iters * 2 {
+				for _, n := range names {
+					snap, ok := st.Get(n)
+					if !ok {
+						continue
+					}
+					tab := snap.Table()
+					rows := tab.NumRows()
+					// Re-derive the version: content seen through the
+					// snapshot must hash to the version it advertises.
+					if v := contentVersion(tab); v != snap.Version() {
+						t.Errorf("torn snapshot: version %s but content hashes to %s", snap.Version(), v)
+						return
+					}
+					if rows != tab.NumRows() {
+						t.Errorf("row count changed under a pinned snapshot")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired.Load() == 0 {
+		t.Fatal("no events fired during churn")
+	}
+	for _, n := range names {
+		if _, ok := st.Get(n); !ok {
+			st.Register(mustTable(t, n, 8))
+		}
+	}
+	if st.Len() != len(names) {
+		t.Fatalf("Len = %d, want %d", st.Len(), len(names))
+	}
+}
+
+// BenchmarkStoreSnapshot shows snapshot acquisition is O(1): the same
+// zero-allocation pointer read whether the table has 8 rows or 20k.
+func BenchmarkStoreSnapshot(b *testing.B) {
+	for _, n := range []int{8, 1024, 20480} {
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			st := New(Options{})
+			rows := make([][]string, n)
+			for i := range rows {
+				rows[i] = []string{"n" + strconv.Itoa(i%7), strconv.Itoa(1896 + 4*i), strconv.Itoa(i)}
+			}
+			tab, err := table.New("bench", []string{"Nation", "Year", "Games"}, rows)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st.Register(tab)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				snap, ok := st.Get("bench")
+				if !ok || snap.Table().NumRows() != n {
+					b.Fatal("bad snapshot")
+				}
+			}
+		})
+	}
+}

@@ -3,7 +3,7 @@ package table
 import (
 	"math"
 	"sort"
-	"sync"
+	"sync/atomic"
 )
 
 // columnData is the eagerly built columnar view of one column: the
@@ -33,16 +33,25 @@ type columnData struct {
 
 // numericIndex is the lazily built sorted index of one column: the
 // records with a numeric interpretation, ordered ascending by that
-// interpretation (ties by record index). Built on first use under
-// once, so concurrent readers share one build.
+// interpretation (ties by record index). It is immutable once
+// published.
 type numericIndex struct {
-	once sync.Once
 	rows []int
 }
 
-func (t *Table) buildColumns() {
+// atomicIndex is the publication slot of one column's numeric index.
+// Build and drop race safely through Load/CompareAndSwap/Swap:
+// concurrent first uses may build duplicate (identical) indexes, but
+// only the published one is ever accounted, so byte accounting stays
+// consistent with what is resident.
+type atomicIndex = atomic.Pointer[numericIndex]
+
+// buildColumns builds the columnar view, interning each canonical key
+// through the build dictionary so duplicate keys (and, transitively,
+// the KB posting-list keys) share one backing string.
+func (t *Table) buildColumns(in *interner) {
 	t.cols = make([]columnData, len(t.columns))
-	t.numIdx = make([]*numericIndex, len(t.columns))
+	t.numIdx = make([]atomicIndex, len(t.columns))
 	for c := range t.columns {
 		cd := &t.cols[c]
 		cd.keys = make([]string, len(t.rows))
@@ -52,7 +61,7 @@ func (t *Table) buildColumns() {
 		cd.asciiKeys = true
 		for r := range t.rows {
 			v := t.rows[r][c]
-			cd.keys[r] = v.Key()
+			cd.keys[r] = in.intern(v.Key())
 			if !isASCII(cd.keys[r]) {
 				cd.asciiKeys = false
 			}
@@ -69,7 +78,6 @@ func (t *Table) buildColumns() {
 		if len(t.rows) == 0 {
 			cd.allNum = false
 		}
-		t.numIdx[c] = &numericIndex{}
 	}
 }
 
@@ -123,26 +131,36 @@ func isASCII(s string) bool {
 
 // NumericSortedRows returns the records of column c that carry a
 // numeric interpretation, ordered ascending by that interpretation
-// (ties by record index). The index is built lazily on first use and
-// cached; the returned slice is shared and must not be modified.
+// (ties by record index). The index is built lazily on first use,
+// published atomically, and may be dropped again under memory pressure
+// (DropDerivedIndexes) — concurrent builders may duplicate the work
+// but produce identical results, and only the published build is
+// charged to the table's derived-byte account. The returned slice is
+// shared and must not be modified.
 func (t *Table) NumericSortedRows(c int) []int {
-	idx := t.numIdx[c]
-	idx.once.Do(func() {
-		cd := &t.cols[c]
-		rows := make([]int, 0, len(t.rows))
-		for r := range t.rows {
-			if cd.isNum[r] {
-				rows = append(rows, r)
-			}
+	if idx := t.numIdx[c].Load(); idx != nil {
+		return idx.rows
+	}
+	cd := &t.cols[c]
+	rows := make([]int, 0, len(t.rows))
+	for r := range t.rows {
+		if cd.isNum[r] {
+			rows = append(rows, r)
 		}
-		sort.Slice(rows, func(i, j int) bool {
-			a, b := rows[i], rows[j]
-			if cd.nums[a] != cd.nums[b] {
-				return cd.nums[a] < cd.nums[b]
-			}
-			return a < b
-		})
-		idx.rows = rows
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if cd.nums[a] != cd.nums[b] {
+			return cd.nums[a] < cd.nums[b]
+		}
+		return a < b
 	})
-	return idx.rows
+	if t.numIdx[c].CompareAndSwap(nil, &numericIndex{rows: rows}) {
+		sz := indexBytes(len(rows))
+		t.mem.derived.Add(sz)
+		t.memNotify(sz)
+	} else if idx := t.numIdx[c].Load(); idx != nil {
+		return idx.rows
+	}
+	return rows
 }

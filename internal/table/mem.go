@@ -1,0 +1,121 @@
+package table
+
+import "sync/atomic"
+
+// Byte-cost constants for the resident-memory estimate. These are
+// deliberately coarse (Go's allocator rounds size classes, maps carry
+// buckets) — the store needs a stable, monotone measure to budget
+// against, not an exact heap profile.
+const (
+	strHeaderBytes   = 16 // string header (ptr + len)
+	sliceHeaderBytes = 24 // slice header (ptr + len + cap)
+	valueStructBytes = 56 // Value: Kind + Str header + Num + time.Time
+	// perCellFixedBytes covers one cell's share of every per-cell
+	// structure besides the string bytes themselves: the boxed Value,
+	// the raw and canonical-key string headers, the columnar numeric
+	// and validity vector entries, and the KB posting-list entry.
+	perCellFixedBytes = valueStructBytes + 2*strHeaderBytes + 8 + 1 + 8
+)
+
+// interner is a build-time string dictionary: intern returns the one
+// shared copy of each distinct string, and the interner tracks how many
+// distinct strings it saw and their total byte cost. It lives only for
+// the duration of a table build; the strings it deduplicated stay
+// shared in the finished table.
+type interner struct {
+	m     map[string]string
+	bytes int64
+}
+
+func newInterner() *interner {
+	return &interner{m: make(map[string]string)}
+}
+
+// intern returns the canonical copy of s, registering it on first sight.
+func (in *interner) intern(s string) string {
+	if v, ok := in.m[s]; ok {
+		return v
+	}
+	in.m[s] = s
+	in.bytes += int64(len(s)) + strHeaderBytes
+	return s
+}
+
+// observe accounts for a string that is already interned elsewhere (a
+// row shared copy-on-write with an older table) without the caller
+// replacing its reference.
+func (in *interner) observe(s string) { in.intern(s) }
+
+// memAccount tracks a table's byte footprint: base is sealed at build
+// time, derived moves as sorted indexes are built and dropped, and hook
+// (owned by at most one store) observes every derived delta.
+type memAccount struct {
+	base    int64
+	dict    int // distinct interned strings
+	derived atomic.Int64
+	hook    atomic.Pointer[func(delta int64)]
+}
+
+// sealBaseBytes fixes the base (non-evictable) footprint estimate:
+// interned string bytes counted once each, plus fixed per-cell and
+// per-row structure costs.
+func (t *Table) sealBaseBytes(in *interner) {
+	cells := int64(len(t.rows)) * int64(len(t.columns))
+	t.mem.base = in.bytes + cells*perCellFixedBytes + int64(len(t.rows))*2*sliceHeaderBytes
+	t.mem.dict = len(in.m)
+}
+
+// BaseBytes estimates the table's non-evictable resident footprint:
+// dictionary-interned cell strings (each distinct string counted once),
+// boxed values, the columnar view and the KB index. It is fixed at
+// build time.
+func (t *Table) BaseBytes() int64 { return t.mem.base }
+
+// DerivedBytes reports the bytes currently held by lazily built,
+// droppable derived structures (the per-column sorted numeric indexes).
+func (t *Table) DerivedBytes() int64 { return t.mem.derived.Load() }
+
+// DictEntries reports how many distinct strings the build interned —
+// the size of the table's string dictionary.
+func (t *Table) DictEntries() int { return t.mem.dict }
+
+// SetMemHook registers fn to observe every change to the table's
+// derived-index footprint (positive deltas on index builds, negative on
+// drops). At most one hook is active; the versioned store owns it. A
+// nil fn detaches the current hook.
+func (t *Table) SetMemHook(fn func(delta int64)) {
+	if fn == nil {
+		t.mem.hook.Store(nil)
+		return
+	}
+	t.mem.hook.Store(&fn)
+}
+
+func (t *Table) memNotify(delta int64) {
+	if f := t.mem.hook.Load(); f != nil {
+		(*f)(delta)
+	}
+}
+
+// DropDerivedIndexes releases every built sorted numeric index,
+// returning the bytes freed. Base data (rows, columnar view, KB index)
+// is untouched: queries keep answering correctly and any dropped index
+// is rebuilt lazily on next use. This is the store's eviction
+// primitive for cold tables under memory pressure.
+func (t *Table) DropDerivedIndexes() int64 {
+	var freed int64
+	for c := range t.numIdx {
+		if old := t.numIdx[c].Swap(nil); old != nil {
+			freed += indexBytes(len(old.rows))
+		}
+	}
+	if freed > 0 {
+		t.mem.derived.Add(-freed)
+		t.memNotify(-freed)
+	}
+	return freed
+}
+
+// indexBytes is the byte estimate of one sorted numeric index over n
+// records.
+func indexBytes(n int) int64 { return int64(n)*8 + sliceHeaderBytes }

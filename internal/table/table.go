@@ -28,7 +28,10 @@ func (c CellRef) Less(o CellRef) bool {
 
 // Table is a single web table: an ordered relation whose records carry a
 // unique Index (0,1,2,…) and an implicit Prev pointer to the record above
-// (Section 3.1). Tables are immutable after construction.
+// (Section 3.1). Tables are immutable after construction; Append builds a
+// new table sharing the existing rows rather than mutating in place, which
+// is what lets the versioned store hand out consistent snapshots while
+// mutations land.
 type Table struct {
 	name    string
 	columns []string
@@ -43,11 +46,19 @@ type Table struct {
 	// vectors) the plan executor scans instead of the boxed rows.
 	cols []columnData
 	// numIdx holds the lazily built per-column sorted numeric indexes.
-	numIdx []*numericIndex
+	// Entries are droppable under memory pressure (DropDerivedIndexes)
+	// and rebuilt on demand.
+	numIdx []atomicIndex
+	// mem is the table's byte accounting: base footprint, currently
+	// built derived-index bytes, and the store's change hook.
+	mem memAccount
 }
 
 // New builds a table from a name, header row and raw cell text. Every row
-// must have exactly len(columns) cells.
+// must have exactly len(columns) cells. Cell text is dictionary-interned:
+// duplicate strings (raw text and canonical keys) share one backing copy,
+// which both shrinks the resident footprint and makes the byte estimate
+// in BaseBytes honest about that sharing.
 func New(name string, columns []string, rows [][]string) (*Table, error) {
 	if len(columns) == 0 {
 		return nil, fmt.Errorf("table %q: no columns", name)
@@ -64,6 +75,7 @@ func New(name string, columns []string, rows [][]string) (*Table, error) {
 		}
 		t.colIndex[key] = i
 	}
+	in := newInterner()
 	t.rows = make([][]Value, len(rows))
 	t.raw = make([][]string, len(rows))
 	for r, row := range rows {
@@ -71,15 +83,69 @@ func New(name string, columns []string, rows [][]string) (*Table, error) {
 			return nil, fmt.Errorf("table %q: row %d has %d cells, want %d", name, r, len(row), len(columns))
 		}
 		vals := make([]Value, len(row))
+		rawRow := make([]string, len(row))
 		for c, cell := range row {
+			cell = in.intern(cell)
 			vals[c] = ParseValue(cell)
+			rawRow[c] = cell
 		}
 		t.rows[r] = vals
-		t.raw[r] = append([]string(nil), row...)
+		t.raw[r] = rawRow
 	}
-	t.buildKB()
-	t.buildColumns()
+	t.finish(in)
 	return t, nil
+}
+
+// Append returns a new table holding this table's records followed by
+// extra — copy-on-write: the existing rows' parsed values and raw text
+// are shared with the receiver (never re-parsed or copied), only the new
+// rows are parsed, and the derived structures (KB index, columnar view)
+// are rebuilt for the combined relation. The receiver is not modified, so
+// snapshots pinned on it stay consistent.
+func (t *Table) Append(extra [][]string) (*Table, error) {
+	nt := &Table{
+		name:     t.name,
+		columns:  t.columns, // immutable, shared
+		colIndex: t.colIndex,
+		rows:     make([][]Value, 0, len(t.rows)+len(extra)),
+		raw:      make([][]string, 0, len(t.raw)+len(extra)),
+	}
+	nt.rows = append(nt.rows, t.rows...)
+	nt.raw = append(nt.raw, t.raw...)
+	in := newInterner()
+	// Shared rows are already interned by the receiver's build; observe
+	// measures their string bytes for the new table's accounting without
+	// touching the shared slices.
+	for _, row := range t.raw {
+		for _, cell := range row {
+			in.observe(cell)
+		}
+	}
+	for i, row := range extra {
+		if len(row) != len(t.columns) {
+			return nil, fmt.Errorf("table %q: appended row %d has %d cells, want %d", t.name, i, len(row), len(t.columns))
+		}
+		vals := make([]Value, len(row))
+		rawRow := make([]string, len(row))
+		for c, cell := range row {
+			cell = in.intern(cell)
+			vals[c] = ParseValue(cell)
+			rawRow[c] = cell
+		}
+		nt.rows = append(nt.rows, vals)
+		nt.raw = append(nt.raw, rawRow)
+	}
+	nt.finish(in)
+	return nt, nil
+}
+
+// finish builds the derived structures (columnar view first, so the KB
+// index can reuse its interned canonical keys) and seals the base byte
+// estimate.
+func (t *Table) finish(in *interner) {
+	t.buildColumns(in)
+	t.buildKB()
+	t.sealBaseBytes(in)
 }
 
 // MustNew is New, panicking on error; intended for fixtures and examples.
@@ -91,7 +157,10 @@ func MustNew(name string, columns []string, rows [][]string) *Table {
 	return t
 }
 
-// FromCSV reads a table from CSV: the first record is the header.
+// FromCSV reads a table from CSV: the first record is the header. A
+// UTF-8 byte-order mark on the first header cell (the Excel export
+// convention) is stripped; a header-only document yields an empty but
+// valid table.
 func FromCSV(name string, r io.Reader) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
@@ -103,6 +172,7 @@ func FromCSV(name string, r io.Reader) (*Table, error) {
 		return nil, fmt.Errorf("table %q: empty csv", name)
 	}
 	header := recs[0]
+	header[0] = strings.TrimPrefix(header[0], "\ufeff")
 	body := recs[1:]
 	for i, row := range body {
 		if len(row) != len(header) {
@@ -112,16 +182,18 @@ func FromCSV(name string, r io.Reader) (*Table, error) {
 	return New(name, header, body)
 }
 
+// buildKB runs after buildColumns so the posting-list keys are the
+// columnar view's interned canonical keys rather than fresh
+// per-cell strings.
 func (t *Table) buildKB() {
 	t.kb = make([]map[string][]int, len(t.columns))
 	for c := range t.columns {
-		t.kb[c] = make(map[string][]int)
-	}
-	for r, row := range t.rows {
-		for c, v := range row {
-			k := v.Key()
-			t.kb[c][k] = append(t.kb[c][k], r)
+		m := make(map[string][]int)
+		keys := t.cols[c].keys
+		for r := range t.rows {
+			m[keys[r]] = append(m[keys[r]], r)
 		}
+		t.kb[c] = m
 	}
 }
 

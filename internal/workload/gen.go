@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 
 	"nlexplain/internal/dcs"
@@ -23,6 +24,14 @@ const (
 	OpParse   OpKind = "parse"   // NL -> ranked candidates: POST /v1/parse
 	OpBatch   OpKind = "batch"   // POST /v1/explain/batch
 	OpSQL     OpKind = "sql"     // mini-SQL execution (in-process) / explain fallback (HTTP)
+	// OpChurn is one full table lifecycle: register a fresh table,
+	// explain a query on it, append rows (PATCH), answer the same query
+	// on the grown snapshot, then drop the table (DELETE). The target
+	// suffixes the table name with a per-execution nonce, so concurrent
+	// executions of the same op never collide, and verifies the
+	// responses carry the matching snapshot versions — a live
+	// snapshot-isolation probe.
+	OpChurn OpKind = "churn"
 )
 
 // BatchEntry is one query of a batch op.
@@ -42,6 +51,11 @@ type Op struct {
 	Question string `json:"question,omitempty"`
 	// Batch entries, for Kind == OpBatch.
 	Batch []BatchEntry `json:"batch,omitempty"`
+	// Columns/Rows/AppendRows carry the table payload of a churn op:
+	// the registered header and rows, and the rows PATCHed afterwards.
+	Columns    []string   `json:"columns,omitempty"`
+	Rows       [][]string `json:"rows,omitempty"`
+	AppendRows [][]string `json:"append_rows,omitempty"`
 	// TimeoutMs overrides the per-op deadline when positive (the
 	// adversarial mix uses tiny values to exercise deadline handling).
 	TimeoutMs int `json:"timeout_ms,omitempty"`
@@ -70,7 +84,7 @@ type Mix struct {
 var Mixes = []Mix{
 	{Name: "mixed", About: "a bit of everything; the CI gate mix", weights: []familyWeight{
 		{"lookup", 20}, {"comparative", 10}, {"superlative", 10}, {"aggregate", 10},
-		{"answer", 15}, {"parse", 10}, {"batch", 10}, {"sql", 10}, {"malformed", 5}}},
+		{"answer", 15}, {"parse", 10}, {"batch", 10}, {"sql", 10}, {"malformed", 5}, {"churn", 5}}},
 	{Name: "explain", About: "full-pipeline explains across all query families", weights: []familyWeight{
 		{"lookup", 30}, {"comparative", 25}, {"aggregate", 25}, {"superlative", 20}}},
 	{Name: "answer", About: "answer-only fast path across all query families", weights: []familyWeight{
@@ -85,6 +99,8 @@ var Mixes = []Mix{
 		{"superlative", 60}, {"comparative", 40}}},
 	{Name: "adversarial", About: "malformed, unknown-table, expensive and tiny-deadline traffic", weights: []familyWeight{
 		{"malformed", 25}, {"unknown_table", 10}, {"hog", 35}, {"tiny_timeout", 20}, {"lookup", 10}}},
+	{Name: "churn", About: "table lifecycle churn (register/append/drop) interleaved with queries", weights: []familyWeight{
+		{"churn", 40}, {"lookup", 25}, {"answer", 20}, {"aggregate", 15}}},
 }
 
 // MixByName resolves a built-in mix.
@@ -218,6 +234,8 @@ func (g *Generator) genFamily(family string) Op {
 	case "tiny_timeout":
 		t, _ := g.corpus.Table(TableHuge)
 		return Op{Kind: OpExplain, Family: family, Table: t.Name(), Query: g.hogExpr(t).String(), TimeoutMs: 1}
+	case "churn":
+		return g.churnOp()
 	default:
 		panic(fmt.Sprintf("unknown workload family %q", family))
 	}
@@ -464,6 +482,39 @@ var malformedQueries = []string{
 
 func (g *Generator) malformedQuery() string {
 	return pick(g.rng, malformedQueries)
+}
+
+// churnOp builds one table-lifecycle op: a fresh table of 4-8 rows in
+// the corpus schema, 1-4 rows to append, and a query valid on both the
+// registered and the appended state (count always is; the lookup is
+// anchored on a registered row, which appends cannot remove).
+func (g *Generator) churnOp() Op {
+	n := 4 + g.rng.Intn(5)
+	rows := make([][]string, n)
+	for r := range rows {
+		rows[r] = g.corpusRow()
+	}
+	extra := make([][]string, 1+g.rng.Intn(4))
+	for r := range extra {
+		extra[r] = g.corpusRow()
+	}
+	query := "count(Record)"
+	if g.rng.Intn(2) == 0 {
+		anchor := rows[g.rng.Intn(n)][0] // Nation column
+		query = (&dcs.Aggregate{Fn: dcs.Count, Arg: &dcs.Join{Column: "Nation", Arg: &dcs.ValueLit{V: table.StringValue(anchor)}}}).String()
+	}
+	return Op{Kind: OpChurn, Family: "churn", Table: "wl_churn", Columns: corpusColumns, Rows: rows, AppendRows: extra, Query: query}
+}
+
+// corpusRow draws one row in the shared corpus schema.
+func (g *Generator) corpusRow() []string {
+	return []string{
+		nations[g.rng.Intn(len(nations))],
+		cities[g.rng.Intn(len(cities))],
+		strconv.Itoa(1896 + g.rng.Intn(40)*4),
+		strconv.Itoa(g.rng.Intn(300)),
+		results[g.rng.Intn(len(results))],
+	}
 }
 
 // batchOp bundles 4-16 valid queries over random corpus tables.

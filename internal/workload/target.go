@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"nlexplain/internal/engine"
@@ -92,6 +93,9 @@ func opCtx(ctx context.Context, op Op) (context.Context, context.CancelFunc) {
 type InProc struct {
 	Engine *engine.Engine
 	tables map[string]*table.Table
+	// churnSeq suffixes churn-op table names so concurrent executions
+	// of one op never collide on a name.
+	churnSeq atomic.Uint64
 }
 
 // NewInProc wraps a fresh engine with the given options.
@@ -153,6 +157,8 @@ func (p *InProc) Do(ctx context.Context, op Op) Outcome {
 		// and every one came from cache; an all-failure batch must not.
 		out.Cached = okCount > 0 && cachedOK == okCount
 		return out
+	case OpChurn:
+		return p.doChurn(ctx, op)
 	case OpSQL:
 		// Mini-SQL runs directly against the registered table: the SQL
 		// fragment has no provenance pipeline, so this measures the
@@ -175,10 +181,47 @@ func (p *InProc) Do(ctx context.Context, op Op) Outcome {
 	}
 }
 
+// doChurn runs one full table lifecycle in-process: register, explain,
+// append, answer, drop. Beyond the per-step error classification it
+// verifies snapshot isolation on the wire contract: the explanation
+// must carry the registered snapshot's version and the post-append
+// answer the appended snapshot's version — a torn or stale read
+// classifies as internal so regression gates catch it.
+func (p *InProc) doChurn(ctx context.Context, op Op) Outcome {
+	name := fmt.Sprintf("%s_%d", op.Table, p.churnSeq.Add(1))
+	info, err := p.Engine.RegisterRaw(name, op.Columns, op.Rows)
+	if err != nil {
+		return Outcome{Class: ClassClientError, Err: err}
+	}
+	defer p.Engine.DropTable(name)
+	ex, _, err := p.Engine.ExplainCached(ctx, name, op.Query)
+	if err != nil {
+		return Outcome{Class: classifyErr(err), Err: err}
+	}
+	if ex.Version != info.Version {
+		err := fmt.Errorf("%w: churn explain served version %s, registered %s", engine.ErrInternal, ex.Version, info.Version)
+		return Outcome{Class: ClassInternal, Err: err}
+	}
+	grown, err := p.Engine.AppendRows(name, op.AppendRows)
+	if err != nil {
+		return Outcome{Class: classifyErr(err), Err: err}
+	}
+	ans, _, err := p.Engine.ExplainAnswer(ctx, name, op.Query)
+	if err != nil {
+		return Outcome{Class: classifyErr(err), Err: err}
+	}
+	if ans.Version != grown.Version {
+		err := fmt.Errorf("%w: churn answer served version %s after append to %s", engine.ErrInternal, ans.Version, grown.Version)
+		return Outcome{Class: ClassInternal, Err: err}
+	}
+	return Outcome{Class: ClassOK}
+}
+
 // HTTPTarget drives a live wtq-server over its JSON API.
 type HTTPTarget struct {
-	Base   string
-	Client *http.Client
+	Base     string
+	Client   *http.Client
+	churnSeq atomic.Uint64
 }
 
 // NewHTTPTarget aims at a wtq-server base URL (e.g.
@@ -198,11 +241,17 @@ func (h *HTTPTarget) Close() error {
 
 // post sends a JSON body and returns the status and decoded response.
 func (h *HTTPTarget) post(ctx context.Context, path string, body any, out any) (int, error) {
+	return h.do(ctx, http.MethodPost, path, body, out)
+}
+
+// do sends a JSON request with an arbitrary method (POST, PATCH,
+// DELETE) and decodes the response into out when given.
+func (h *HTTPTarget) do(ctx context.Context, method, path string, body any, out any) (int, error) {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		return 0, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.Base+path, bytes.NewReader(buf))
+	req, err := http.NewRequestWithContext(ctx, method, h.Base+path, bytes.NewReader(buf))
 	if err != nil {
 		return 0, err
 	}
@@ -307,6 +356,8 @@ func (h *HTTPTarget) Do(ctx context.Context, op Op) Outcome {
 		return h.simplePost(ctx, "/v1/answer", map[string]string{"table": op.Table, "query": op.Query})
 	case OpParse:
 		return h.simplePost(ctx, "/v1/parse", map[string]string{"table": op.Table, "question": op.Question})
+	case OpChurn:
+		return h.doChurn(ctx, op)
 	case OpBatch:
 		queries := make([]map[string]string, len(op.Batch))
 		for i, e := range op.Batch {
@@ -346,6 +397,67 @@ func (h *HTTPTarget) Do(ctx context.Context, op Op) Outcome {
 	default:
 		return Outcome{Class: ClassClientError, Err: fmt.Errorf("unknown op kind %q", op.Kind)}
 	}
+}
+
+// doChurn drives one table lifecycle over the wire: POST /v1/tables,
+// POST /v1/explain, PATCH /v1/tables/{name}, POST /v1/answer,
+// DELETE /v1/tables/{name}. Version stamps are cross-checked exactly
+// like the in-process path.
+func (h *HTTPTarget) doChurn(ctx context.Context, op Op) Outcome {
+	name := fmt.Sprintf("%s_%d", op.Table, h.churnSeq.Add(1))
+	var reg struct {
+		Version string `json:"version"`
+	}
+	status, err := h.post(ctx, "/v1/tables", map[string]any{"name": name, "columns": op.Columns, "rows": op.Rows}, &reg)
+	if err != nil {
+		return transportOutcome(ctx, err)
+	}
+	if status != http.StatusCreated {
+		return Outcome{Class: classifyStatus(status), Err: fmt.Errorf("churn register: status %d", status)}
+	}
+	defer func() {
+		// Cleanup runs even when the op's context is spent.
+		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, _ = h.do(cctx, http.MethodDelete, "/v1/tables/"+name, nil, nil)
+	}()
+	var ex struct {
+		Version string `json:"version"`
+	}
+	status, err = h.post(ctx, "/v1/explain", map[string]string{"table": name, "query": op.Query}, &ex)
+	if err != nil {
+		return transportOutcome(ctx, err)
+	}
+	if status != http.StatusOK {
+		return Outcome{Class: classifyStatus(status), Err: fmt.Errorf("churn explain: status %d", status)}
+	}
+	if ex.Version != reg.Version {
+		return Outcome{Class: ClassInternal, Err: fmt.Errorf("churn explain version %s, registered %s", ex.Version, reg.Version)}
+	}
+	var grown struct {
+		Version string `json:"version"`
+	}
+	status, err = h.do(ctx, http.MethodPatch, "/v1/tables/"+name, map[string]any{"rows": op.AppendRows}, &grown)
+	if err != nil {
+		return transportOutcome(ctx, err)
+	}
+	if status != http.StatusOK {
+		return Outcome{Class: classifyStatus(status), Err: fmt.Errorf("churn append: status %d", status)}
+	}
+	var ans struct {
+		Version string `json:"version"`
+	}
+	status, err = h.post(ctx, "/v1/answer", map[string]string{"table": name, "query": op.Query}, &ans)
+	if err != nil {
+		return transportOutcome(ctx, err)
+	}
+	if status != http.StatusOK {
+		return Outcome{Class: classifyStatus(status), Err: fmt.Errorf("churn answer: status %d", status)}
+	}
+	if ans.Version != grown.Version {
+		return Outcome{Class: ClassInternal, Err: fmt.Errorf("churn answer version %s after append to %s", ans.Version, grown.Version)}
+	}
+	return Outcome{Class: ClassOK}
 }
 
 func (h *HTTPTarget) simplePost(ctx context.Context, path string, body any) Outcome {

@@ -10,6 +10,7 @@ import (
 	"nlexplain/internal/dcs"
 	"nlexplain/internal/engine"
 	"nlexplain/internal/minisql"
+	"nlexplain/internal/table"
 )
 
 func mustMix(t *testing.T, name string) Mix {
@@ -123,7 +124,64 @@ func TestGeneratedOpsAreWellFormed(t *testing.T) {
 			if op.Question == "" {
 				t.Fatalf("op %d: parse op without question", i)
 			}
+		case OpChurn:
+			if len(op.Columns) == 0 || len(op.Rows) == 0 || len(op.AppendRows) == 0 {
+				t.Fatalf("op %d: churn op missing payload: %+v", i, op)
+			}
+			base, err := table.New("churn_check", op.Columns, op.Rows)
+			if err != nil {
+				t.Fatalf("op %d: churn rows do not build: %v", i, err)
+			}
+			grown, err := base.Append(op.AppendRows)
+			if err != nil {
+				t.Fatalf("op %d: churn append rows do not build: %v", i, err)
+			}
+			q, err := dcs.Parse(op.Query)
+			if err != nil {
+				t.Fatalf("op %d: churn query %q does not parse: %v", i, op.Query, err)
+			}
+			for _, tbl := range []*table.Table{base, grown} {
+				if _, err := dcs.Execute(q, tbl); err != nil {
+					t.Fatalf("op %d: churn query %q fails on %d-row state: %v", i, op.Query, tbl.NumRows(), err)
+				}
+			}
 		}
+	}
+}
+
+// TestChurnMixSnapshotIsolation drives the churn mix concurrently at
+// an in-process engine; under -race this is the workload-level proof
+// that registrations, appends, drops and queries interleave without
+// torn snapshots or stale cached results (the churn target classifies
+// any version mismatch as an internal error).
+func TestChurnMixSnapshotIsolation(t *testing.T) {
+	corpus, ops := Generate(17, mustMix(t, "churn"), 96)
+	tgt := NewInProc(engine.Options{Workers: 4})
+	rep, err := Run(context.Background(), tgt, corpus, ops, Options{
+		Workers: 8, MaxOps: 192, Seed: 17, MixName: "churn",
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.TotalOps != 192 {
+		t.Fatalf("TotalOps = %d, want 192", rep.TotalOps)
+	}
+	if rep.Counts[ClassInternal] != 0 {
+		t.Fatalf("churn run saw internal errors (torn snapshot / stale cache): %v", rep.Counts)
+	}
+	if rep.Counts[ClassOK] != rep.TotalOps {
+		t.Fatalf("churn run not fully ok: %v", rep.Counts)
+	}
+	if _, ok := rep.PerKind[string(OpChurn)]; !ok {
+		t.Fatalf("per-kind breakdown missing churn: %v", rep.PerKind)
+	}
+	stats := rep.Engine
+	if stats == nil || stats.StoreGen == 0 {
+		t.Fatalf("store generation not recorded in engine stats: %+v", stats)
+	}
+	// Churn tables are dropped on completion: only the corpus remains.
+	if stats.StoreTables != len(corpus.Tables) {
+		t.Fatalf("StoreTables = %d after churn, want %d (leaked churn tables)", stats.StoreTables, len(corpus.Tables))
 	}
 }
 

@@ -29,20 +29,29 @@
 // # Serving explanations at scale
 //
 // For serving many concurrent requests, the package re-exports the
-// explanation pipeline engine (package internal/engine): a table
-// registry for named, pre-loaded tables, LRU caches for parsed ASTs
-// and full explanation results keyed on (table version, query), an
-// in-flight deduplicator, a bounded worker pool for batches with
-// per-query context deadlines, and scrape-ready counters:
+// explanation pipeline engine (package internal/engine): LRU caches
+// for parsed ASTs and full explanation results keyed on (table
+// version, query), an in-flight deduplicator, a bounded worker pool
+// for batches with per-query context deadlines, and scrape-ready
+// counters. Table state lives in a sharded versioned store
+// (internal/store): every query pins an immutable snapshot, live
+// mutations (RegisterTable over an existing name, AppendRows,
+// DropTable) install a new snapshot under a monotonic generation and
+// synchronously purge the displaced version's cached results, and
+// per-table memory accounting against EngineOptions.StoreByteBudget
+// evicts cold tables' derived indexes (never base data) under
+// pressure:
 //
 //	eng := nlexplain.NewEngine(nlexplain.EngineOptions{Workers: 8})
 //	eng.RegisterTable(t)
 //	out, err := eng.Explain(ctx, "olympics", "max(R[Year].Country.Greece)")
+//	info, err := eng.AppendRows("olympics", [][]string{{"2016", "Rio", "Brazil", "207"}})
 //	results := eng.ExplainBatch(ctx, []nlexplain.ExplainRequest{...})
-//	stats := eng.Stats() // hits, misses, executions, latency
+//	stats := eng.Stats() // hits, misses, executions, latency, store bytes
 //
 // cmd/wtq-server wraps the engine in an HTTP/JSON service with
-// endpoints POST /v1/tables, /v1/explain, /v1/explain/batch,
+// endpoints POST /v1/tables, PATCH/DELETE /v1/tables/{name},
+// /v1/explain, /v1/explain/batch,
 // /v1/answer, /v1/parse and GET /v1/healthz, /v1/stats; see
 // examples/server for a curl transcript. cmd/wtq-bench generates
 // seeded, reproducible query workloads (internal/workload) and drives
@@ -179,11 +188,12 @@ func NewParser() *Parser { return semparse.NewParser() }
 // Engine types, re-exported from the internal pipeline engine so
 // services embed the same machinery wtq-server runs on.
 type (
-	// Engine is the concurrent explanation pipeline: table registry,
-	// AST/result LRU caches, bounded worker pool and counters.
+	// Engine is the concurrent explanation pipeline: versioned table
+	// store, AST/result LRU caches, bounded worker pool and counters.
 	Engine = engine.Engine
 	// EngineOptions configures NewEngine; the zero value picks
-	// defaults (GOMAXPROCS workers, 1024-entry caches, 10s timeout).
+	// defaults (GOMAXPROCS workers, 1024-entry caches, 10s timeout,
+	// 16 store shards, unlimited store byte budget).
 	EngineOptions = engine.Options
 	// EngineStats is a scrape-ready snapshot of engine counters.
 	EngineStats = engine.Stats
