@@ -9,11 +9,15 @@ GO ?= go
 COVERAGE_FLOOR = 65
 
 # Perf-gate knobs: the checked-in baseline and the tolerances CI
-# compares with. Tolerances are deliberately generous (CI machines are
-# noisy): the gate catches step-change regressions, not jitter.
+# compares with. Wall-clock tolerances are deliberately generous (CI
+# machines are noisy): they catch step-change regressions, not jitter.
+# Allocation counts are near-deterministic for the pinned op multiset,
+# so allocs/op gets a tight 1.5x gate, and compare writes a
+# benchstat-style old-vs-new summary CI uploads on every PR.
 PERF_BASELINE = bench_baseline.json
 PERF_REPORT   = bench_report.json
-PERF_FLAGS    = -max-p50-ratio 4 -max-p99-ratio 4 -min-throughput-ratio 0.2
+PERF_SUMMARY  = perf_summary.txt
+PERF_FLAGS    = -max-p50-ratio 4 -max-p99-ratio 4 -min-throughput-ratio 0.2 -max-allocs-ratio 1.5 -summary $(PERF_SUMMARY)
 
 .PHONY: all build test vet fmt cover bench baseline perf-gate store-stress serve ci
 
@@ -47,11 +51,14 @@ cover:
 		{ echo "coverage $$total% is below the $(COVERAGE_FLOOR)% floor"; exit 1; }
 
 # bench smoke-runs every benchmark once; -benchtime=1x keeps it cheap
-# enough for CI while still executing each pipeline end to end. The
-# output lands in bench.out (gitignored) so CI can upload it as an
-# artifact and the perf trajectory stays recorded.
+# enough for CI while still executing each pipeline end to end, and
+# -benchmem records B/op + allocs/op for every benchmark (the
+# allocation columns of BenchmarkPlanExec/BenchmarkPlanExecSQL/
+# BenchmarkStoreSnapshot are the hot-path budget). The output lands in
+# bench.out (gitignored) so CI can upload it as an artifact and the
+# perf trajectory stays recorded.
 bench:
-	@$(GO) test -run='^$$' -bench=. -benchtime=1x ./... > bench.out 2>&1 || { cat bench.out; exit 1; }
+	@$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./... > bench.out 2>&1 || { cat bench.out; exit 1; }
 	@cat bench.out
 	@echo "benchstat-friendly output written to $$(pwd)/bench.out"
 

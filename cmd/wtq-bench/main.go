@@ -172,6 +172,8 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 	maxErr := fs.Float64("max-error-rate-delta", 0, "max absolute error-rate increase (0 = default 0.02)")
 	maxShed := fs.Float64("max-shed-rate-delta", 0, "max absolute shed+timeout-rate increase (0 = default 0.02)")
 	maxCache := fs.Float64("max-cache-hit-drop", 0, "max absolute cache-hit-ratio drop (0 = default 0.15)")
+	maxAllocs := fs.Float64("max-allocs-ratio", 0, "max current/baseline allocs-per-op ratio (0 = default 1.5)")
+	summary := fs.String("summary", "", "write a benchstat-style old-vs-new metric table to this file")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: wtq-bench compare [flags] baseline.json current.json")
 		fs.PrintDefaults()
@@ -200,9 +202,17 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 		MaxErrorRateDelta:  *maxErr,
 		MaxShedRateDelta:   *maxShed,
 		MaxCacheHitDrop:    *maxCache,
+		MaxAllocsRatio:     *maxAllocs,
 	}
 	vs := workload.Compare(base, cur, tol)
 	fmt.Fprintf(stdout, "baseline: %s\ncurrent:  %s\n", summaryLine(base), summaryLine(cur))
+	if *summary != "" {
+		if err := os.WriteFile(*summary, []byte(workload.FormatComparison(base, cur)), 0o644); err != nil {
+			fmt.Fprintf(stderr, "wtq-bench: writing summary: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "old-vs-new summary written to %s\n", *summary)
+	}
 	if len(vs) == 0 {
 		fmt.Fprintln(stdout, "OK: no performance regression beyond tolerances")
 		return 0
@@ -212,6 +222,6 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 }
 
 func summaryLine(r *workload.Report) string {
-	return fmt.Sprintf("mix=%s seed=%d ops=%d p50=%.3fms p99=%.3fms tput=%.1f/s err=%d shed=%d",
-		r.Mix, r.Seed, r.TotalOps, r.Latency.P50Ms, r.Latency.P99Ms, r.Throughput, r.Errors, r.Sheds)
+	return fmt.Sprintf("mix=%s seed=%d ops=%d p50=%.3fms p99=%.3fms tput=%.1f/s err=%d shed=%d allocs/op=%.0f",
+		r.Mix, r.Seed, r.TotalOps, r.Latency.P50Ms, r.Latency.P99Ms, r.Throughput, r.Errors, r.Sheds, r.AllocsPerOp)
 }

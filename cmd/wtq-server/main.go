@@ -27,6 +27,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -37,6 +38,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"nlexplain"
@@ -73,13 +75,44 @@ func newMux(e *nlexplain.Engine, maxTableBytes int64) *http.ServeMux {
 	return mux
 }
 
+// encBuf pairs a reusable buffer with the encoder bound to it; the
+// pool recycles both across requests, so steady-state responses
+// allocate neither an encoder nor a fresh backing array.
+type encBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+// encBufMaxRetained caps the buffer size the pool keeps: a rare huge
+// response (a full table dump) should not pin megabytes forever.
+const encBufMaxRetained = 1 << 20
+
+var encPool = sync.Pool{New: func() any {
+	e := new(encBuf)
+	e.enc = json.NewEncoder(&e.buf)
+	e.enc.SetIndent("", "  ")
+	return e
+}}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	e := encPool.Get().(*encBuf)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		// Nothing was written yet, so the client still gets a clean
+		// JSON error response instead of a torn body. (errorBody always
+		// marshals, so this cannot recurse.)
+		encPool.Put(e)
+		log.Printf("encoding response: %v", err)
+		writeError(w, http.StatusInternalServerError, "internal server error")
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		log.Printf("encoding response: %v", err)
+	if _, err := w.Write(e.buf.Bytes()); err != nil {
+		log.Printf("writing response: %v", err)
+	}
+	if e.buf.Cap() <= encBufMaxRetained {
+		encPool.Put(e)
 	}
 }
 

@@ -36,7 +36,11 @@ func Compile(e Expr, t *table.Table) (*Compiled, error) {
 // converts the plan value back into a lambda DCS Result. With an
 // inactive tracer the Result carries no witness cells.
 func (c *Compiled) ExecuteWith(t *table.Table, tr plan.Tracer) (*Result, error) {
-	v, err := plan.Run(c.Root, t, tr)
+	// The plan value lives on the stack; RunInto detaches the execution
+	// arena's buffers into it, and resultFromVal moves the slices into
+	// the caller-owned Result — one allocation end to end.
+	var v plan.Val
+	err := plan.RunInto(&v, c.Root, t, tr)
 	if err != nil {
 		// The plan error names the operation ("min over an empty set")
 		// but not the failing sub-expression. Dynamic errors are rare
@@ -48,7 +52,7 @@ func (c *Compiled) ExecuteWith(t *table.Table, tr plan.Tracer) (*Result, error) 
 		}
 		return nil, &ExecError{Expr: c.Expr, Msg: err.Error()}
 	}
-	return resultFromVal(v), nil
+	return resultFromVal(&v), nil
 }
 
 // ExecuteSource is ExecuteWith through a snapshot handle: the table is

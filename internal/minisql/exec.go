@@ -137,8 +137,8 @@ func (e *evaluator) planQuery(q Query) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	v, err := plan.Run(plan.Optimize(n), e.t, plan.Noop{})
-	if err != nil {
+	var v plan.Val
+	if err := plan.RunInto(&v, plan.Optimize(n), e.t, plan.Noop{}); err != nil {
 		return nil, err
 	}
 	return &Rows{Cols: v.Cols, Data: v.Data, Src: v.Src}, nil

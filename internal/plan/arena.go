@@ -1,0 +1,194 @@
+package plan
+
+import (
+	"sync"
+
+	"nlexplain/internal/table"
+)
+
+// arena is the per-execution scratch store behind the allocation-free
+// hot path: every intermediate Val, row buffer, bitset word block,
+// value/cell/label buffer and dedup hash table an execution needs is
+// drawn from here, and the whole arena returns to a sync.Pool when
+// Run finishes. Repeated queries therefore allocate O(1): after the
+// first few executions warm a pooled arena, the only remaining
+// allocations are the boundary copies (detach) of whatever escapes to
+// the caller.
+//
+// Lifecycle rules:
+//
+//   - An arena belongs to exactly one execution at a time; nested
+//     executions (subqueries fired from predicate closures) acquire
+//     their own arena from the pool, so reuse never crosses runs.
+//   - Arena-backed memory must never survive release: Run detaches
+//     (deep-copies) the root Val before releasing, and tracers must
+//     copy any cell slice they want to keep (see Tracer.Operator).
+//   - Buffers are handed out empty (len 0) and never handed back
+//     individually; release simply rewinds the high-water marks.
+//     Stale contents past a buffer's returned length are never read.
+//   - Pooled buffers may pin table values (interned strings) until the
+//     next GC empties the pool; used Vals are zeroed on release so the
+//     pool itself never keeps a dropped snapshot alive through them.
+type arena struct {
+	// ex is the executor itself, embedded so Run allocates nothing.
+	ex executor
+
+	// n is the row count of the pinned table, sizing ident and the
+	// bitset word blocks.
+	n int
+
+	ints  bufs[int]
+	words bufs[uint64]
+	vals  bufs[table.Value]
+	cells bufs[table.CellRef]
+	strs  bufs[string]
+	data  bufs[[]table.Value]
+
+	valNodes []*Val
+	valUsed  int
+
+	ded dedup
+
+	// ident is the cached identity row set 0..cap-1 every Scan shares.
+	ident []int
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+
+// getArena checks an arena out of the pool for one execution over an
+// n-row table.
+func getArena(n int) *arena {
+	a := arenaPool.Get().(*arena)
+	a.n = n
+	return a
+}
+
+// release rewinds the arena and returns it to the pool. Used Vals are
+// zeroed so pooled arenas drop their references into table data.
+func (a *arena) release() {
+	for i := 0; i < a.valUsed; i++ {
+		*a.valNodes[i] = Val{}
+	}
+	a.valUsed = 0
+	a.ints.reset()
+	a.words.reset()
+	a.vals.reset()
+	a.cells.reset()
+	a.strs.reset()
+	a.data.reset()
+	a.ex = executor{}
+	arenaPool.Put(a)
+}
+
+// val hands out a zeroed Val with the given kind.
+func (a *arena) val(k Kind) *Val {
+	if a.valUsed == len(a.valNodes) {
+		a.valNodes = append(a.valNodes, new(Val))
+	}
+	v := a.valNodes[a.valUsed]
+	a.valUsed++
+	*v = Val{Kind: k}
+	return v
+}
+
+// rowSet hands out a cleared bitset over [0, n).
+func (a *arena) rowSet(n int) RowSet {
+	nw := rowSetWords(n)
+	w := a.words.get(nw)[:nw]
+	clear(w)
+	return RowSet{words: w, n: n}
+}
+
+// identity returns the shared ascending row set 0..n-1. Callers treat
+// it as immutable (executors never mutate input row slices).
+func (a *arena) identity(n int) []int {
+	for len(a.ident) < n {
+		a.ident = append(a.ident, len(a.ident))
+	}
+	return a.ident[:n]
+}
+
+// bufs is a freelist of reusable []T scratch buffers. get hands out
+// an empty buffer with at least the hinted capacity; reset makes every
+// buffer available again. A buffer that outgrows its capacity through
+// append simply migrates to a fresh backing array — the pool keeps the
+// original, so steady-state executions stop allocating once the high
+// water marks are reached.
+type bufs[T any] struct {
+	free [][]T
+	used int
+}
+
+func (p *bufs[T]) get(capHint int) []T {
+	if p.used == len(p.free) {
+		p.free = append(p.free, make([]T, 0, capHint))
+	}
+	b := p.free[p.used]
+	if cap(b) < capHint {
+		b = make([]T, 0, capHint)
+		p.free[p.used] = b
+	}
+	p.used++
+	return b[:0]
+}
+
+func (p *bufs[T]) reset() { p.used = 0 }
+
+// dedup is the arena's open-addressing hash-set scratch, shared by
+// every hash-dedup path (Distinct, SQLUnion, grouping, value dedup).
+// Slots hold caller payloads (a row or output index); the caller
+// confirms hash matches with its own equality check, so FNV collisions
+// are harmless. Sessions must not overlap: each operator finishes its
+// dedup before child plans or projection closures run (child plans use
+// their own arena anyway).
+type dedup struct {
+	hashes []uint64
+	slots  []int32
+	mask   uint64
+}
+
+// init sizes the table for up to n insertions (load factor <= 1/2)
+// and clears it. O(table) but allocation-free at steady state.
+func (d *dedup) init(n int) {
+	size := 16
+	for size < 2*n {
+		size <<= 1
+	}
+	if cap(d.slots) >= size {
+		d.slots = d.slots[:size]
+		d.hashes = d.hashes[:size]
+	} else {
+		d.slots = make([]int32, size)
+		d.hashes = make([]uint64, size)
+	}
+	for i := range d.slots {
+		d.slots[i] = -1
+	}
+	d.mask = uint64(size - 1)
+}
+
+// lookup probes for an entry with hash h confirmed by eq, returning
+// its payload. eq is called only on hash-equal candidates.
+func (d *dedup) lookup(h uint64, eq func(payload int32) bool) (int32, bool) {
+	for i := h & d.mask; ; i = (i + 1) & d.mask {
+		p := d.slots[i]
+		if p < 0 {
+			return 0, false
+		}
+		if d.hashes[i] == h && eq(p) {
+			return p, true
+		}
+	}
+}
+
+// insert records payload under h. Call only after a failed lookup and
+// never beyond the capacity init sized for.
+func (d *dedup) insert(h uint64, payload int32) {
+	for i := h & d.mask; ; i = (i + 1) & d.mask {
+		if d.slots[i] < 0 {
+			d.slots[i] = payload
+			d.hashes[i] = h
+			return
+		}
+	}
+}

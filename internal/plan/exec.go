@@ -3,8 +3,8 @@ package plan
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
-	"strings"
 
 	"nlexplain/internal/table"
 )
@@ -16,8 +16,13 @@ import (
 // Aggr), and Cols/Data/Src for TableKind (Src holds each output row's
 // source record index, or the computed-row sentinel -1).
 //
-// Cells carries the node's PO witness cells, computed only under an
+// Cells carries the node's PO witness cells (sorted row-major,
+// duplicate-free — the table.SortedCells form), computed only under an
 // active Tracer; with an inactive tracer it is always nil.
+//
+// During execution Vals and their slices live in a pooled per-run
+// arena; the Val a Run variant returns is detached (deep-copied) into
+// ordinary heap memory, so callers and caches may hold it forever.
 type Val struct {
 	Kind   Kind
 	Rows   []int
@@ -32,11 +37,73 @@ type Val struct {
 // Run executes a plan over a table under the given tracer. A nil
 // tracer is treated as Noop (answer-only execution).
 func Run(n Node, t *table.Table, tr Tracer) (*Val, error) {
+	out := new(Val)
+	if err := RunInto(out, n, t, tr); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunSource is Run through a snapshot handle: the table is pinned from
+// src exactly once, at execution start, so a run never observes a
+// store mutation landing mid-flight.
+func RunSource(n Node, src Source, tr Tracer) (*Val, error) {
+	return Run(n, src.PlanTable(), tr)
+}
+
+// RunInto executes the plan and deposits the detached result in *out,
+// saving the result-Val allocation for callers that already own one
+// (the query front-ends put it on the stack and copy the fields into
+// their own result types). *out is overwritten entirely.
+func RunInto(out *Val, n Node, t *table.Table, tr Tracer) error {
 	if tr == nil {
 		tr = Noop{}
 	}
-	ex := &executor{t: t, tr: tr, trace: tr.Active()}
-	return ex.run(n)
+	ar := getArena(t.NumRows())
+	defer ar.release()
+	ex := &ar.ex
+	ex.t, ex.tr, ex.trace, ex.ar = t, tr, tr.Active(), ar
+	v, err := ex.run(n)
+	if err != nil {
+		return err
+	}
+	detachInto(out, v)
+	return nil
+}
+
+// detachInto deep-copies v — whose slices live in arena scratch — into
+// ordinary heap memory in *out. Empty slices normalize to nil, and
+// table data rows are packed into one flat backing array, so the copy
+// costs O(result) bytes but O(1) allocations.
+func detachInto(out, v *Val) {
+	*out = Val{Kind: v.Kind, Aggr: v.Aggr}
+	if len(v.Rows) > 0 {
+		out.Rows = append(make([]int, 0, len(v.Rows)), v.Rows...)
+	}
+	if len(v.Values) > 0 {
+		out.Values = append(make([]table.Value, 0, len(v.Values)), v.Values...)
+	}
+	if len(v.Cols) > 0 {
+		out.Cols = append(make([]string, 0, len(v.Cols)), v.Cols...)
+	}
+	if len(v.Cells) > 0 {
+		out.Cells = append(make([]table.CellRef, 0, len(v.Cells)), v.Cells...)
+	}
+	if len(v.Data) > 0 {
+		w := 0
+		for _, row := range v.Data {
+			w += len(row)
+		}
+		flat := make([]table.Value, 0, w)
+		out.Data = make([][]table.Value, len(v.Data))
+		for i, row := range v.Data {
+			flat = append(flat, row...)
+			out.Data[i] = flat[len(flat)-len(row) : len(flat) : len(flat)]
+		}
+	}
+	if len(v.Src) > 0 {
+		out.Src = append(make([]int, 0, len(v.Src)), v.Src...)
+	}
 }
 
 // Source is a snapshot handle: anything that pins one immutable table
@@ -56,6 +123,7 @@ type executor struct {
 	t     *table.Table
 	tr    Tracer
 	trace bool
+	ar    *arena
 }
 
 func (ex *executor) run(n Node) (*Val, error) {
@@ -72,15 +140,17 @@ func (ex *executor) run(n Node) (*Val, error) {
 func (ex *executor) eval(n Node) (*Val, error) {
 	switch x := n.(type) {
 	case *Scan:
-		return &Val{Kind: RowsKind, Rows: ex.t.Records()}, nil
+		v := ex.ar.val(RowsKind)
+		v.Rows = ex.ar.identity(ex.t.NumRows())
+		return v, nil
 	case *IndexLookup:
-		return ex.indexLookup(x.Col, x.Keys)
+		return ex.indexLookup(x.Col, x.canonicalKeys())
 	case *Lookup:
 		in, err := ex.run(x.Input)
 		if err != nil {
 			return nil, err
 		}
-		return ex.indexLookup(x.Col, in.Values)
+		return ex.lookupValues(x.Col, in.Values)
 	case *Compare:
 		return ex.compare(x)
 	case *Filter:
@@ -94,9 +164,14 @@ func (ex *executor) eval(n Node) (*Val, error) {
 	case *Superlative:
 		return ex.superlative(x)
 	case *Const:
-		return &Val{Kind: ValuesKind, Values: x.Values}, nil
+		v := ex.ar.val(ValuesKind)
+		v.Values = x.Values
+		return v, nil
 	case *constScalar:
-		return &Val{Kind: ScalarKind, Values: x.Values, Aggr: x.aggr}, nil
+		v := ex.ar.val(ScalarKind)
+		v.Values = x.Values
+		v.Aggr = x.aggr
+		return v, nil
 	case *ProjectCol:
 		return ex.projectCol(x)
 	case *IndexSuper:
@@ -129,8 +204,8 @@ func (ex *executor) eval(n Node) (*Val, error) {
 
 // cellsAt builds the witness cells (r, col) for a sorted, duplicate-
 // free row set — already row-major sorted by construction.
-func cellsAt(rows []int, col int) []table.CellRef {
-	out := make([]table.CellRef, len(rows))
+func (ex *executor) cellsAt(rows []int, col int) []table.CellRef {
+	out := ex.ar.cells.get(len(rows))[:len(rows)]
 	for i, r := range rows {
 		out[i] = table.CellRef{Row: r, Col: col}
 	}
@@ -139,30 +214,49 @@ func cellsAt(rows []int, col int) []table.CellRef {
 
 // ---- row operators ----
 
-func (ex *executor) indexLookup(col int, keys []table.Value) (*Val, error) {
+// indexLookup answers a KB lookup on pre-canonicalized keys.
+func (ex *executor) indexLookup(col int, keys []string) (*Val, error) {
 	t := ex.t
 	var rows []int
 	if len(keys) == 1 {
-		// Posting lists are ascending and duplicate-free, but they are
-		// shared with the table's KB index: copy, because the row set
-		// escapes into caller-owned results (dcs.Result.Records).
-		rows = append([]int(nil), t.RowsForKey(col, keys[0].Key())...)
+		// Posting lists are ascending and duplicate-free, and shared
+		// with the table's KB index. Sharing is safe: executors never
+		// mutate input row sets, and the boundary detach copies whatever
+		// escapes into caller-owned results.
+		rows = t.RowsForKey(col, keys[0])
 	} else {
-		set := make(map[int]bool)
-		for _, v := range keys {
-			for _, r := range t.RowsForKey(col, v.Key()) {
-				set[r] = true
-			}
+		set := ex.ar.rowSet(t.NumRows())
+		for _, k := range keys {
+			set.AddRows(t.RowsForKey(col, k))
 		}
-		rows = make([]int, 0, len(set))
-		for r := range set {
-			rows = append(rows, r)
-		}
-		sort.Ints(rows)
+		rows = set.AppendRows(ex.ar.ints.get(t.NumRows()))
 	}
-	v := &Val{Kind: RowsKind, Rows: rows}
+	v := ex.ar.val(RowsKind)
+	v.Rows = rows
 	if ex.trace {
-		v.Cells = cellsAt(rows, col)
+		v.Cells = ex.cellsAt(rows, col)
+	}
+	return v, nil
+}
+
+// lookupValues is indexLookup over a computed value set (the dynamic
+// lambda DCS join); keys are canonicalized per execution.
+func (ex *executor) lookupValues(col int, vals []table.Value) (*Val, error) {
+	t := ex.t
+	var rows []int
+	if len(vals) == 1 {
+		rows = t.RowsForKey(col, vals[0].Key())
+	} else {
+		set := ex.ar.rowSet(t.NumRows())
+		for _, v := range vals {
+			set.AddRows(t.RowsForKey(col, v.Key()))
+		}
+		rows = set.AppendRows(ex.ar.ints.get(t.NumRows()))
+	}
+	v := ex.ar.val(RowsKind)
+	v.Rows = rows
+	if ex.trace {
+		v.Cells = ex.cellsAt(rows, col)
 	}
 	return v, nil
 }
@@ -177,29 +271,32 @@ func (ex *executor) compare(x *Compare) (*Val, error) {
 			// Key identity and Value.Equal disagree here (NaN literal,
 			// or Unicode case folds outside ASCII): scan with the
 			// interpreter's Equal semantics.
+			buf := ex.ar.ints.get(t.NumRows())
 			for r := 0; r < t.NumRows(); r++ {
 				if t.Value(r, x.Col).Equal(x.V) == want {
-					rows = append(rows, r)
+					buf = append(buf, r)
 				}
 			}
+			rows = buf
 			break
 		}
 		if want {
-			rows = append([]int(nil), t.RowsForKey(x.Col, x.V.Key())...)
+			rows = t.RowsForKey(x.Col, x.canonicalKey())
 			break
 		}
 		// Entity inequality: complement of the KB posting list, walked
 		// with two pointers so no per-row string comparison happens.
-		eq := t.RowsForKey(x.Col, x.V.Key())
-		rows = make([]int, 0, t.NumRows()-len(eq))
+		eq := t.RowsForKey(x.Col, x.canonicalKey())
+		buf := ex.ar.ints.get(t.NumRows() - len(eq))
 		j := 0
 		for r := 0; r < t.NumRows(); r++ {
 			if j < len(eq) && eq[j] == r {
 				j++
 				continue
 			}
-			rows = append(rows, r)
+			buf = append(buf, r)
 		}
+		rows = buf
 	default:
 		lit, ok := x.V.Float()
 		if !ok {
@@ -213,18 +310,21 @@ func (ex *executor) compare(x *Compare) (*Val, error) {
 		if t.ColumnIndexable(x.Col) && !math.IsNaN(lit) {
 			rows = ex.rangeFromIndex(x.Col, x.Cmp, lit)
 		} else {
-			rows = ex.rangeScan(x.Col, x.Cmp, x.V)
+			rows = ex.rangeScan(ex.ar.ints.get(t.NumRows()), x.Col, x.Cmp, x.V)
 		}
 	}
-	v := &Val{Kind: RowsKind, Rows: rows}
+	v := ex.ar.val(RowsKind)
+	v.Rows = rows
 	if ex.trace {
-		v.Cells = cellsAt(rows, x.Col)
+		v.Cells = ex.cellsAt(rows, x.Col)
 	}
 	return v, nil
 }
 
 // rangeFromIndex answers a numeric range predicate from the sorted
-// numeric index in O(log n) plus output size.
+// numeric index in O(log n) plus output size. The matching rows arrive
+// in value order; replaying them through a bitset re-emits them in
+// ascending record order without a sort.
 func (ex *executor) rangeFromIndex(col int, op string, lit float64) []int {
 	idx := ex.t.NumericSortedRows(col)
 	nums, _ := ex.t.ColumnNums(col)
@@ -241,16 +341,16 @@ func (ex *executor) rangeFromIndex(col int, op string, lit float64) []int {
 	case ">=":
 		part = idx[sort.Search(len(idx), ge):]
 	}
-	rows := append([]int(nil), part...)
-	sort.Ints(rows)
-	return rows
+	set := ex.ar.rowSet(ex.t.NumRows())
+	set.AddRows(part)
+	return set.AppendRows(ex.ar.ints.get(len(part)))
 }
 
 // rangeScan is the fallback comparison scan for columns the index
 // cannot represent (NaN cells), mirroring Value.Compare semantics.
-func (ex *executor) rangeScan(col int, op string, lit table.Value) []int {
+// Matches are appended onto dst.
+func (ex *executor) rangeScan(dst []int, col int, op string, lit table.Value) []int {
 	t := ex.t
-	var rows []int
 	for r := 0; r < t.NumRows(); r++ {
 		v := t.Value(r, col)
 		if !v.IsNumeric() {
@@ -269,10 +369,10 @@ func (ex *executor) rangeScan(col int, op string, lit table.Value) []int {
 			ok = cmp >= 0
 		}
 		if ok {
-			rows = append(rows, r)
+			dst = append(dst, r)
 		}
 	}
-	return rows
+	return dst
 }
 
 func (ex *executor) filter(x *Filter) (*Val, error) {
@@ -284,7 +384,7 @@ func (ex *executor) filter(x *Filter) (*Val, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []int
+	rows := ex.ar.ints.get(len(in.Rows))
 	for _, r := range in.Rows {
 		ok, err := pred(r)
 		if err != nil {
@@ -294,10 +394,11 @@ func (ex *executor) filter(x *Filter) (*Val, error) {
 			rows = append(rows, r)
 		}
 	}
-	v := &Val{Kind: RowsKind, Rows: rows}
+	v := ex.ar.val(RowsKind)
+	v.Rows = rows
 	if ex.trace {
 		if cp, ok := x.Pred.(*CmpPred); ok {
-			v.Cells = cellsAt(rows, cp.Col)
+			v.Cells = ex.cellsAt(rows, cp.Col)
 		}
 	}
 	return v, nil
@@ -417,7 +518,7 @@ func (ex *executor) shift(x *Shift) (*Val, error) {
 		return nil, err
 	}
 	n := ex.t.NumRows()
-	rows := make([]int, 0, len(in.Rows))
+	rows := ex.ar.ints.get(len(in.Rows))
 	for _, r := range in.Rows {
 		if s := r + x.Delta; s >= 0 && s < n {
 			rows = append(rows, s)
@@ -427,7 +528,10 @@ func (ex *executor) shift(x *Shift) (*Val, error) {
 	// clipped to the table stays ascending and duplicate-free. The
 	// witness cells of a pure record shift are inherited from the
 	// argument: the shift itself touches no new cells.
-	return &Val{Kind: RowsKind, Rows: rows, Cells: in.Cells}, nil
+	v := ex.ar.val(RowsKind)
+	v.Rows = rows
+	v.Cells = in.Cells
+	return v, nil
 }
 
 func (ex *executor) intersect(x *Intersect) (*Val, error) {
@@ -439,27 +543,22 @@ func (ex *executor) intersect(x *Intersect) (*Val, error) {
 	if err != nil {
 		return nil, err
 	}
-	inR := make(map[int]bool, len(r.Rows))
-	for _, rec := range r.Rows {
-		inR[rec] = true
-	}
-	var rows []int
+	inR := ex.ar.rowSet(ex.t.NumRows())
+	inR.AddRows(r.Rows)
+	rows := ex.ar.ints.get(min(len(l.Rows), len(r.Rows)))
 	for _, rec := range l.Rows {
-		if inR[rec] {
+		if inR.Contains(rec) {
 			rows = append(rows, rec)
 		}
 	}
-	v := &Val{Kind: RowsKind, Rows: rows}
+	v := ex.ar.val(RowsKind)
+	v.Rows = rows
 	if ex.trace {
 		// Table 10: PO(records1 ⊓ records2) = PO(records1) ∩ PO(records2).
-		lset := table.NewCellSet(l.Cells...)
-		var cells []table.CellRef
-		for _, c := range r.Cells {
-			if lset.Contains(c) {
-				cells = append(cells, c)
-			}
-		}
-		v.Cells = table.DedupCells(cells)
+		// Both cell sets are sorted and duplicate-free (the Val
+		// invariant), so the intersection is one merge walk.
+		v.Cells = table.IntersectSortedCells(
+			ex.ar.cells.get(min(len(l.Cells), len(r.Cells))), l.Cells, r.Cells)
 	}
 	return v, nil
 }
@@ -473,28 +572,43 @@ func (ex *executor) union(x *Union) (*Val, error) {
 	if err != nil {
 		return nil, err
 	}
-	v := &Val{Kind: l.Kind}
+	v := ex.ar.val(l.Kind)
 	if l.Kind == RowsKind {
-		set := make(map[int]bool, len(l.Rows)+len(r.Rows))
-		for _, rec := range l.Rows {
-			set[rec] = true
-		}
-		for _, rec := range r.Rows {
-			set[rec] = true
-		}
-		rows := make([]int, 0, len(set))
-		for rec := range set {
-			rows = append(rows, rec)
-		}
-		sort.Ints(rows)
-		v.Rows = rows
+		set := ex.ar.rowSet(ex.t.NumRows())
+		set.AddRows(l.Rows)
+		set.AddRows(r.Rows)
+		v.Rows = set.AppendRows(ex.ar.ints.get(len(l.Rows) + len(r.Rows)))
 	} else {
-		v.Values = table.DedupValues(append(append([]table.Value(nil), l.Values...), r.Values...))
+		v.Values = ex.dedupValues(l.Values, r.Values)
 	}
 	if ex.trace {
-		v.Cells = table.DedupCells(append(append([]table.CellRef(nil), l.Cells...), r.Cells...))
+		v.Cells = table.MergeSortedCells(
+			ex.ar.cells.get(len(l.Cells)+len(r.Cells)), l.Cells, r.Cells)
 	}
 	return v, nil
+}
+
+// dedupValues unions two value lists preserving first-appearance
+// order, deduplicating by canonical key through the arena hash table
+// (FNV-1a row hash, KeyEqual confirming candidates).
+func (ex *executor) dedupValues(a, b []table.Value) []table.Value {
+	out := ex.ar.vals.get(len(a) + len(b))
+	d := &ex.ar.ded
+	d.init(len(a) + len(b))
+	var cand table.Value
+	eq := func(j int32) bool { return table.KeyEqual(out[j], cand) }
+	for _, vs := range [2][]table.Value{a, b} {
+		for _, v := range vs {
+			cand = v
+			h := v.HashKey(table.FNVOffset)
+			if _, found := d.lookup(h, eq); found {
+				continue
+			}
+			d.insert(h, int32(len(out)))
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 func (ex *executor) superlative(x *Superlative) (*Val, error) {
@@ -504,28 +618,33 @@ func (ex *executor) superlative(x *Superlative) (*Val, error) {
 	}
 	rows := in.Rows
 	if len(rows) == 0 {
-		return &Val{Kind: RowsKind}, nil
+		return ex.ar.val(RowsKind), nil
 	}
 	t := ex.t
 	var out []int
 	if t.ColumnAllNumeric(x.Col) && t.ColumnIndexable(x.Col) {
 		nums, _ := t.ColumnNums(x.Col)
 		if len(rows) == t.NumRows() {
-			// Full-table superlative: read the extreme off the sorted
-			// numeric index and collect its tie group.
+			// Full-table superlative: the extreme's tie group is a
+			// contiguous run of the sorted numeric index, and within a
+			// tie group the index orders by record — so the group can be
+			// shared as a subslice, already ascending, no sort, no copy.
 			idx := t.NumericSortedRows(x.Col)
 			if x.Max {
 				best := nums[idx[len(idx)-1]]
-				for i := len(idx) - 1; i >= 0 && nums[idx[i]] == best; i-- {
-					out = append(out, idx[i])
+				i := len(idx) - 1
+				for i >= 0 && nums[idx[i]] == best {
+					i--
 				}
+				out = idx[i+1:]
 			} else {
 				best := nums[idx[0]]
-				for i := 0; i < len(idx) && nums[idx[i]] == best; i++ {
-					out = append(out, idx[i])
+				i := 0
+				for i < len(idx) && nums[idx[i]] == best {
+					i++
 				}
+				out = idx[:i]
 			}
-			sort.Ints(out)
 		} else {
 			// Subset superlative: one vectorized pass over the float
 			// column, no Value boxing.
@@ -535,11 +654,13 @@ func (ex *executor) superlative(x *Superlative) (*Val, error) {
 					best = nums[r]
 				}
 			}
+			buf := ex.ar.ints.get(len(rows))
 			for _, r := range rows {
 				if nums[r] == best {
-					out = append(out, r)
+					buf = append(buf, r)
 				}
 			}
+			out = buf
 		}
 	} else {
 		best := t.Value(rows[0], x.Col)
@@ -549,15 +670,18 @@ func (ex *executor) superlative(x *Superlative) (*Val, error) {
 				best = v
 			}
 		}
+		buf := ex.ar.ints.get(len(rows))
 		for _, r := range rows {
 			if t.Value(r, x.Col).Compare(best) == 0 {
-				out = append(out, r)
+				buf = append(buf, r)
 			}
 		}
+		out = buf
 	}
-	v := &Val{Kind: RowsKind, Rows: out}
+	v := ex.ar.val(RowsKind)
+	v.Rows = out
 	if ex.trace {
-		v.Cells = cellsAt(out, x.Col)
+		v.Cells = ex.cellsAt(out, x.Col)
 	}
 	return v, nil
 }
@@ -571,17 +695,25 @@ func (ex *executor) projectCol(x *ProjectCol) (*Val, error) {
 	}
 	t := ex.t
 	keys := t.ColumnKeys(x.Col)
-	seen := make(map[string]bool, len(in.Rows))
-	var vals []table.Value
+	d := &ex.ar.ded
+	d.init(len(in.Rows))
+	vals := ex.ar.vals.get(len(in.Rows))
+	var k string
+	// Payloads are row indices; column keys are canonical already, so
+	// candidate confirmation is plain (interned) string equality.
+	eq := func(j int32) bool { return keys[j] == k }
 	for _, r := range in.Rows {
-		if k := keys[r]; !seen[k] {
-			seen[k] = true
+		k = keys[r]
+		h := table.HashString(table.FNVOffset, k)
+		if _, found := d.lookup(h, eq); !found {
+			d.insert(h, int32(r))
 			vals = append(vals, t.Value(r, x.Col))
 		}
 	}
-	v := &Val{Kind: ValuesKind, Values: vals}
+	v := ex.ar.val(ValuesKind)
+	v.Values = vals
 	if ex.trace {
-		v.Cells = cellsAt(in.Rows, x.Col)
+		v.Cells = ex.cellsAt(in.Rows, x.Col)
 	}
 	return v, nil
 }
@@ -592,15 +724,16 @@ func (ex *executor) indexSuper(x *IndexSuper) (*Val, error) {
 		return nil, err
 	}
 	if len(in.Rows) == 0 {
-		return &Val{Kind: ValuesKind}, nil
+		return ex.ar.val(ValuesKind), nil
 	}
 	r := in.Rows[len(in.Rows)-1]
 	if x.First {
 		r = in.Rows[0]
 	}
-	v := &Val{Kind: ValuesKind, Values: []table.Value{ex.t.Value(r, x.Col)}}
+	v := ex.ar.val(ValuesKind)
+	v.Values = append(ex.ar.vals.get(1), ex.t.Value(r, x.Col))
 	if ex.trace {
-		v.Cells = []table.CellRef{{Row: r, Col: x.Col}}
+		v.Cells = append(ex.ar.cells.get(1), table.CellRef{Row: r, Col: x.Col})
 	}
 	return v, nil
 }
@@ -618,7 +751,7 @@ func (ex *executor) mostFrequent(x *MostFrequent) (*Val, error) {
 		candidates = in.Values
 	}
 	if len(candidates) == 0 {
-		return &Val{Kind: ValuesKind}, nil
+		return ex.ar.val(ValuesKind), nil
 	}
 	// Ties break towards the value appearing earliest in the table,
 	// matching the SQL translation's GROUP BY (groups form in row order)
@@ -638,11 +771,12 @@ func (ex *executor) mostFrequent(x *MostFrequent) (*Val, error) {
 		}
 	}
 	if bestCount == 0 {
-		return &Val{Kind: ValuesKind}, nil
+		return ex.ar.val(ValuesKind), nil
 	}
-	v := &Val{Kind: ValuesKind, Values: []table.Value{winner}}
+	v := ex.ar.val(ValuesKind)
+	v.Values = append(ex.ar.vals.get(1), winner)
 	if ex.trace {
-		v.Cells = cellsAt(t.RowsForKey(x.Col, winner.Key()), x.Col)
+		v.Cells = ex.cellsAt(t.RowsForKey(x.Col, winner.Key()), x.Col)
 	}
 	return v, nil
 }
@@ -656,12 +790,12 @@ func (ex *executor) compareVals(x *CompareVals) (*Val, error) {
 	// SQL semantics (Table 10, Comparing Values): the extreme key value
 	// over all records whose ValCol value is a candidate, then the
 	// DISTINCT ValCol values of records achieving that key.
-	var pool []int
+	pool := ex.ar.ints.get(t.NumRows())
 	for _, v := range in.Values {
 		pool = append(pool, t.RowsForKey(x.ValCol, v.Key())...)
 	}
 	if len(pool) == 0 {
-		return &Val{Kind: ValuesKind}, nil
+		return ex.ar.val(ValuesKind), nil
 	}
 	best := t.Value(pool[0], x.KeyCol)
 	for _, r := range pool[1:] {
@@ -670,19 +804,26 @@ func (ex *executor) compareVals(x *CompareVals) (*Val, error) {
 			best = k
 		}
 	}
-	var out []table.Value
-	var cells []table.CellRef
+	out := ex.ar.vals.get(len(pool))
+	var achieved RowSet
+	if ex.trace {
+		achieved = ex.ar.rowSet(t.NumRows())
+	}
 	for _, r := range pool {
 		if t.Value(r, x.KeyCol).Compare(best) == 0 {
 			out = append(out, t.Value(r, x.ValCol))
 			if ex.trace {
-				cells = append(cells, table.CellRef{Row: r, Col: x.ValCol})
+				achieved.Add(r)
 			}
 		}
 	}
-	v := &Val{Kind: ValuesKind, Values: table.DedupValues(out)}
+	v := ex.ar.val(ValuesKind)
+	v.Values = ex.dedupValues(out, nil)
 	if ex.trace {
-		v.Cells = table.DedupCells(cells)
+		// The bitset replays the achieving rows in ascending record
+		// order, giving the sorted duplicate-free witness cells directly.
+		rows := achieved.AppendRows(ex.ar.ints.get(achieved.Count()))
+		v.Cells = ex.cellsAt(rows, x.ValCol)
 	}
 	return v, nil
 }
@@ -699,12 +840,11 @@ func (ex *executor) aggregate(x *Aggregate) (*Val, error) {
 		if in.Kind == RowsKind {
 			n = len(in.Rows)
 		}
-		return &Val{
-			Kind:   ScalarKind,
-			Values: []table.Value{table.NumberValue(float64(n))},
-			Aggr:   "count",
-			Cells:  in.Cells,
-		}, nil
+		v := ex.ar.val(ScalarKind)
+		v.Values = append(ex.ar.vals.get(1), table.NumberValue(float64(n)))
+		v.Aggr = "count"
+		v.Cells = in.Cells
+		return v, nil
 	}
 	if len(in.Values) == 0 {
 		return nil, fmt.Errorf("%s over an empty set", x.Fn)
@@ -739,7 +879,11 @@ func (ex *executor) aggregate(x *Aggregate) (*Val, error) {
 	default:
 		return nil, fmt.Errorf("unknown aggregate %q", x.Fn)
 	}
-	return &Val{Kind: ScalarKind, Values: []table.Value{out}, Aggr: x.Fn, Cells: in.Cells}, nil
+	v := ex.ar.val(ScalarKind)
+	v.Values = append(ex.ar.vals.get(1), out)
+	v.Aggr = x.Fn
+	v.Cells = in.Cells
+	return v, nil
 }
 
 func (ex *executor) arith(x *Arith) (*Val, error) {
@@ -768,9 +912,11 @@ func (ex *executor) arith(x *Arith) (*Val, error) {
 	default:
 		return nil, fmt.Errorf("unknown arithmetic operator %q", x.Op2)
 	}
-	v := &Val{Kind: ScalarKind, Values: []table.Value{table.NumberValue(out)}}
+	v := ex.ar.val(ScalarKind)
+	v.Values = append(ex.ar.vals.get(1), table.NumberValue(out))
 	if ex.trace {
-		v.Cells = table.DedupCells(append(append([]table.CellRef(nil), l.Cells...), r.Cells...))
+		v.Cells = table.MergeSortedCells(
+			ex.ar.cells.get(len(l.Cells)+len(r.Cells)), l.Cells, r.Cells)
 	}
 	return v, nil
 }
@@ -794,63 +940,89 @@ func (ex *executor) sqlProject(x *SQLProject) (*Val, error) {
 		return nil, err
 	}
 	t := ex.t
-	out := &Val{Kind: TableKind}
+	out := ex.ar.val(TableKind)
+	cols := ex.ar.strs.get(len(x.Items))
 	for _, it := range x.Items {
-		out.Cols = append(out.Cols, it.Label)
+		cols = append(cols, it.Label)
 	}
-	type keyed struct {
-		row  []table.Value
-		src  int
-		sort table.Value
+	out.Cols = cols
+
+	nrows, ncols := len(in.Rows), len(x.Items)
+	// Output rows are subslices of one flat arena chunk; the chunk is
+	// sized exactly, so it never reallocates under the rows.
+	flat := ex.ar.vals.get(nrows * ncols)
+	data := ex.ar.data.get(nrows)
+	src := ex.ar.ints.get(nrows)
+	var sortKeys []table.Value
+	if x.Order != nil {
+		sortKeys = ex.ar.vals.get(nrows)
 	}
-	result := make([]keyed, 0, len(in.Rows))
 	for _, r := range in.Rows {
-		vals := make([]table.Value, 0, len(x.Items))
-		for _, it := range x.Items {
+		base := len(flat)
+		for i := range x.Items {
+			it := &x.Items[i]
 			switch {
 			case it.Col >= 0:
-				vals = append(vals, t.Value(r, it.Col))
+				flat = append(flat, t.Value(r, it.Col))
 			case it.Index:
-				vals = append(vals, table.NumberValue(float64(r)))
+				flat = append(flat, table.NumberValue(float64(r)))
 			default:
 				v, err := it.Fn(r)
 				if err != nil {
 					return nil, err
 				}
-				vals = append(vals, v)
+				flat = append(flat, v)
 			}
 		}
-		k := keyed{row: vals, src: r}
+		data = append(data, flat[base:len(flat):len(flat)])
+		src = append(src, r)
 		if x.Order != nil {
+			var k table.Value
 			switch {
 			case x.Order.Col >= 0:
-				k.sort = t.Value(r, x.Order.Col)
+				k = t.Value(r, x.Order.Col)
 			case x.Order.Index:
-				k.sort = table.NumberValue(float64(r))
+				k = table.NumberValue(float64(r))
 			default:
 				v, err := x.Order.Fn(r)
 				if err != nil {
 					return nil, err
 				}
-				k.sort = v
+				k = v
 			}
+			sortKeys = append(sortKeys, k)
 		}
-		result = append(result, k)
 	}
 	if x.Order != nil {
-		sort.SliceStable(result, func(i, j int) bool {
-			c := result[i].sort.Compare(result[j].sort)
-			if x.Order.Desc {
-				return c > 0
-			}
-			return c < 0
-		})
+		data, src = ex.sortTable(data, src, sortKeys, x.Order.Desc)
 	}
-	for _, k := range result {
-		out.Data = append(out.Data, k.row)
-		out.Src = append(out.Src, k.src)
-	}
+	out.Data = data
+	out.Src = src
 	return out, nil
+}
+
+// sortTable stable-sorts a projected table by per-row sort keys via an
+// arena permutation (matching sort.SliceStable semantics) and returns
+// the reordered data/src buffers.
+func (ex *executor) sortTable(data [][]table.Value, src []int, keys []table.Value, desc bool) ([][]table.Value, []int) {
+	perm := ex.ar.ints.get(len(data))
+	for i := range data {
+		perm = append(perm, i)
+	}
+	slices.SortStableFunc(perm, func(a, b int) int {
+		c := keys[a].Compare(keys[b])
+		if desc {
+			return -c
+		}
+		return c
+	})
+	outData := ex.ar.data.get(len(data))
+	outSrc := ex.ar.ints.get(len(src))
+	for _, p := range perm {
+		outData = append(outData, data[p])
+		outSrc = append(outSrc, src[p])
+	}
+	return outData, outSrc
 }
 
 func (ex *executor) sqlAggregate(x *SQLAggregate) (*Val, error) {
@@ -858,76 +1030,126 @@ func (ex *executor) sqlAggregate(x *SQLAggregate) (*Val, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Build groups preserving first-appearance order.
-	var order []string
-	groups := make(map[string][]int)
+	// Group the input rows in first-appearance order. Each group's rows
+	// land in a contiguous segment of one flat arena buffer (a stable
+	// counting sort), so grouping allocates nothing and builds no
+	// per-group key strings.
+	var groupRows func(g int) []int
+	var ngroups int
 	if x.GroupCol < 0 {
-		groups[""] = in.Rows
-		order = []string{""}
+		ngroups = 1
+		groupRows = func(int) []int { return in.Rows }
 	} else {
 		keys := ex.t.ColumnKeys(x.GroupCol)
+		d := &ex.ar.ded
+		d.init(len(in.Rows))
+		gids := ex.ar.ints.get(len(in.Rows))
+		reps := ex.ar.ints.get(len(in.Rows))   // first row of each group
+		counts := ex.ar.ints.get(len(in.Rows)) // rows per group
+		var k string
+		eq := func(g int32) bool { return keys[reps[g]] == k }
 		for _, r := range in.Rows {
-			k := keys[r]
-			if _, ok := groups[k]; !ok {
-				order = append(order, k)
+			k = keys[r]
+			h := table.HashString(table.FNVOffset, k)
+			id, found := d.lookup(h, eq)
+			if !found {
+				id = int32(len(reps))
+				d.insert(h, id)
+				reps = append(reps, r)
+				counts = append(counts, 0)
 			}
-			groups[k] = append(groups[k], r)
+			gids = append(gids, int(id))
+			counts[id]++
 		}
+		ngroups = len(reps)
+		flat := ex.ar.ints.get(len(in.Rows))[:len(in.Rows)]
+		starts := ex.ar.ints.get(ngroups)
+		cursor := ex.ar.ints.get(ngroups)
+		off := 0
+		for _, c := range counts {
+			starts = append(starts, off)
+			cursor = append(cursor, off)
+			off += c
+		}
+		for i, r := range in.Rows {
+			g := gids[i]
+			flat[cursor[g]] = r
+			cursor[g]++
+		}
+		groupRows = func(g int) []int { return flat[starts[g] : starts[g]+counts[g]] }
 	}
-	out := &Val{Kind: TableKind}
+
+	out := ex.ar.val(TableKind)
+	cols := ex.ar.strs.get(len(x.Items))
 	for _, it := range x.Items {
-		out.Cols = append(out.Cols, it.Label)
+		cols = append(cols, it.Label)
 	}
-	type keyed struct {
-		row  []table.Value
-		sort table.Value
+	out.Cols = cols
+
+	flatVals := ex.ar.vals.get(ngroups * len(x.Items))
+	data := ex.ar.data.get(ngroups)
+	var sortKeys []table.Value
+	if x.Order != nil {
+		sortKeys = ex.ar.vals.get(ngroups)
 	}
-	result := make([]keyed, 0, len(order))
-	for _, k := range order {
-		g := groups[k]
-		vals := make([]table.Value, 0, len(x.Items))
-		for _, it := range x.Items {
-			v, err := it.Fn(g)
+	for g := 0; g < ngroups; g++ {
+		rows := groupRows(g)
+		base := len(flatVals)
+		for i := range x.Items {
+			v, err := x.Items[i].Fn(rows)
 			if err != nil {
 				return nil, err
 			}
-			vals = append(vals, v)
+			flatVals = append(flatVals, v)
 		}
-		kk := keyed{row: vals}
+		data = append(data, flatVals[base:len(flatVals):len(flatVals)])
 		if x.Order != nil {
-			v, err := x.Order(g)
+			v, err := x.Order(rows)
 			if err != nil {
 				return nil, err
 			}
-			kk.sort = v
+			sortKeys = append(sortKeys, v)
 		}
-		result = append(result, kk)
+	}
+	src := ex.ar.ints.get(ngroups)
+	for range data {
+		src = append(src, -1)
 	}
 	if x.Order != nil {
-		sort.SliceStable(result, func(i, j int) bool {
-			c := result[i].sort.Compare(result[j].sort)
-			if x.Desc {
-				return c > 0
-			}
-			return c < 0
-		})
+		data, src = ex.sortTable(data, src, sortKeys, x.Desc)
 	}
-	for _, kk := range result {
-		out.Data = append(out.Data, kk.row)
-		out.Src = append(out.Src, -1)
-	}
+	out.Data = data
+	out.Src = src
 	return out, nil
 }
 
-func rowKey(row []table.Value) string {
-	var b strings.Builder
+// hashTableRow chains the FNV-1a key hash of every cell with a field
+// separator — the allocation-free replacement for the legacy \x1f
+// string row keys.
+func hashTableRow(row []table.Value) uint64 {
+	h := table.FNVOffset
 	for j, v := range row {
 		if j > 0 {
-			b.WriteByte('\x1f')
+			h = table.HashByte(h, 0x1f)
 		}
-		b.WriteString(v.Key())
+		h = v.HashKey(h)
 	}
-	return b.String()
+	return h
+}
+
+// rowsKeyEqual is the collision-safe confirmation behind the row hash:
+// two rows are duplicates exactly when every cell pair shares a
+// canonical key (the legacy row-key string equality).
+func rowsKeyEqual(a, b []table.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !table.KeyEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 func (ex *executor) distinct(x *Distinct) (*Val, error) {
@@ -935,17 +1157,26 @@ func (ex *executor) distinct(x *Distinct) (*Val, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Val{Kind: TableKind, Cols: in.Cols}
-	seen := make(map[string]bool, len(in.Data))
+	out := ex.ar.val(TableKind)
+	out.Cols = in.Cols
+	d := &ex.ar.ded
+	d.init(len(in.Data))
+	data := ex.ar.data.get(len(in.Data))
+	src := ex.ar.ints.get(len(in.Data))
+	var cur []table.Value
+	eq := func(j int32) bool { return rowsKeyEqual(in.Data[j], cur) }
 	for i := range in.Data {
-		k := rowKey(in.Data[i])
-		if seen[k] {
+		cur = in.Data[i]
+		h := hashTableRow(cur)
+		if _, found := d.lookup(h, eq); found {
 			continue
 		}
-		seen[k] = true
-		out.Data = append(out.Data, in.Data[i])
-		out.Src = append(out.Src, in.Src[i])
+		d.insert(h, int32(i))
+		data = append(data, in.Data[i])
+		src = append(src, in.Src[i])
 	}
+	out.Data = data
+	out.Src = src
 	return out, nil
 }
 
@@ -955,7 +1186,16 @@ func (ex *executor) limit(x *Limit) (*Val, error) {
 		return nil, err
 	}
 	if x.N >= 0 && len(in.Data) > x.N {
-		return &Val{Kind: TableKind, Cols: in.Cols, Data: in.Data[:x.N], Src: in.Src[:x.N]}, nil
+		// Copy the Data/Src headers instead of aliasing in.Data[:N]: a
+		// truncated result must never share a backing array wider than
+		// itself with its input (the boundary detach would otherwise be
+		// the only thing standing between a cached result and a reused
+		// pooled buffer).
+		out := ex.ar.val(TableKind)
+		out.Cols = in.Cols
+		out.Data = append(ex.ar.data.get(x.N), in.Data[:x.N]...)
+		out.Src = append(ex.ar.ints.get(x.N), in.Src[:x.N]...)
+		return out, nil
 	}
 	return in, nil
 }
@@ -972,21 +1212,29 @@ func (ex *executor) sqlUnion(x *SQLUnion) (*Val, error) {
 	if len(l.Cols) != len(r.Cols) {
 		return nil, fmt.Errorf("sql exec: UNION of incompatible widths %d and %d", len(l.Cols), len(r.Cols))
 	}
-	out := &Val{Kind: TableKind, Cols: l.Cols}
-	seen := make(map[string]bool)
-	appendRows := func(src *Val) {
-		for i := range src.Data {
-			k := rowKey(src.Data[i])
-			if seen[k] {
+	out := ex.ar.val(TableKind)
+	out.Cols = l.Cols
+	d := &ex.ar.ded
+	d.init(len(l.Data) + len(r.Data))
+	data := ex.ar.data.get(len(l.Data) + len(r.Data))
+	src := ex.ar.ints.get(len(l.Data) + len(r.Data))
+	var cur []table.Value
+	// Payloads index the deduplicated output, which spans both inputs.
+	eq := func(j int32) bool { return rowsKeyEqual(data[j], cur) }
+	for _, side := range [2]*Val{l, r} {
+		for i := range side.Data {
+			cur = side.Data[i]
+			h := hashTableRow(cur)
+			if _, found := d.lookup(h, eq); found {
 				continue
 			}
-			seen[k] = true
-			out.Data = append(out.Data, src.Data[i])
-			out.Src = append(out.Src, src.Src[i])
+			d.insert(h, int32(len(data)))
+			data = append(data, side.Data[i])
+			src = append(src, side.Src[i])
 		}
 	}
-	appendRows(l)
-	appendRows(r)
+	out.Data = data
+	out.Src = src
 	return out, nil
 }
 
@@ -1004,12 +1252,12 @@ func (ex *executor) sqlDiff(x *SQLDiff) (*Val, error) {
 	if !lok || !rok {
 		return nil, fmt.Errorf("sql exec: difference of non-numeric values %q and %q", l, r)
 	}
-	return &Val{
-		Kind: TableKind,
-		Cols: []string{"diff"},
-		Data: [][]table.Value{{table.NumberValue(lf - rf)}},
-		Src:  []int{-1},
-	}, nil
+	out := ex.ar.val(TableKind)
+	out.Cols = append(ex.ar.strs.get(1), "diff")
+	row := append(ex.ar.vals.get(1), table.NumberValue(lf-rf))
+	out.Data = append(ex.ar.data.get(1), row)
+	out.Src = append(ex.ar.ints.get(1), -1)
+	return out, nil
 }
 
 // scalarTable executes a table-kind child that must produce exactly

@@ -26,6 +26,7 @@ package plan
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"nlexplain/internal/table"
 )
@@ -91,6 +92,25 @@ func (*Scan) Children() []Node { return nil }
 type IndexLookup struct {
 	Col  int
 	Keys []table.Value
+
+	// keys caches the canonical map keys (Value.Key) of Keys across
+	// executions, built on first use — cached plans re-execute without
+	// re-lowering each literal. Publication is atomic; racing builders
+	// produce identical slices.
+	keys atomic.Pointer[[]string]
+}
+
+// canonicalKeys returns the memoized Value.Key of every literal.
+func (n *IndexLookup) canonicalKeys() []string {
+	if p := n.keys.Load(); p != nil {
+		return *p
+	}
+	ks := make([]string, len(n.Keys))
+	for i, v := range n.Keys {
+		ks[i] = v.Key()
+	}
+	n.keys.Store(&ks)
+	return ks
 }
 
 // Kind of an index lookup is rows.
@@ -128,6 +148,19 @@ type Compare struct {
 	Col int
 	Cmp string // < <= > >= != =
 	V   table.Value
+
+	// key caches V.Key() across executions of a cached plan.
+	key atomic.Pointer[string]
+}
+
+// canonicalKey returns the memoized V.Key().
+func (n *Compare) canonicalKey() string {
+	if p := n.key.Load(); p != nil {
+		return *p
+	}
+	k := n.V.Key()
+	n.key.Store(&k)
+	return k
 }
 
 // Kind of a comparison is rows.
@@ -378,6 +411,8 @@ func (*SQLProject) Op() string { return "SQLProject" }
 func (p *SQLProject) Children() []Node { return []Node{p.Input} }
 
 // GroupItem is one aggregate-query projection, evaluated per group.
+// Fn receives the group's record indices in executor-owned scratch
+// memory: read them during the call, never retain the slice.
 type GroupItem struct {
 	Label string
 	Fn    func(rows []int) (table.Value, error)

@@ -20,7 +20,10 @@ type Tracer interface {
 	// When false, Operator is never called.
 	Active() bool
 	// Operator is called after an operator finishes, with its name and
-	// its PO witness cells (sorted row-major, deduplicated).
+	// its PO witness cells (sorted row-major, deduplicated). The slice
+	// lives in the execution's pooled arena and is valid only for the
+	// duration of the call: implementations that keep cells must copy
+	// them (the provenance CellTracer folds them into its own set).
 	Operator(op string, cells []table.CellRef)
 }
 

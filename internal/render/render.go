@@ -253,6 +253,7 @@ func JSONGrid(t *table.Table, h *provenance.Highlights, rows []int, sampled bool
 		Name:    t.Name(),
 		Headers: make([]string, t.NumCols()),
 		Rows:    rows,
+		Cells:   make([][]Cell, 0, len(rows)),
 		Sampled: sampled,
 	}
 	for c := 0; c < t.NumCols(); c++ {
@@ -262,16 +263,19 @@ func JSONGrid(t *table.Table, h *provenance.Highlights, rows []int, sampled bool
 		}
 		g.Headers[c] = name
 	}
+	// All cell rows live in one flat exactly-sized backing array: two
+	// allocations for the whole grid instead of one per row.
+	flat := make([]Cell, 0, len(rows)*t.NumCols())
 	for _, r := range rows {
-		line := make([]Cell, t.NumCols())
+		base := len(flat)
 		for c := 0; c < t.NumCols(); c++ {
 			cell := Cell{Text: t.Raw(r, c)}
 			if m := h.MarkingAt(r, c); m != provenance.None {
 				cell.Marking = m.String()
 			}
-			line[c] = cell
+			flat = append(flat, cell)
 		}
-		g.Cells = append(g.Cells, line)
+		g.Cells = append(g.Cells, flat[base:len(flat):len(flat)])
 	}
 	return g
 }

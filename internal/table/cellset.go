@@ -108,6 +108,73 @@ func (s CellSet) Rows() []int {
 	return out
 }
 
+// SortedCells is the small sorted-slice representation of a cell set:
+// a row-major sorted, duplicate-free []CellRef viewed as a set. The
+// plan executor keeps every witness-cell set in this form (its Val
+// invariant), so set algebra on the execution hot path — intersection,
+// union, membership — runs as merge walks and binary searches over
+// slices instead of through CellSet maps, allocating nothing beyond
+// the output slice. Convert to the map form with NewCellSet when
+// incremental mutation is needed (the provenance accumulators).
+type SortedCells []CellRef
+
+// Contains reports membership by binary search.
+func (s SortedCells) Contains(c CellRef) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid].Less(c) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == c
+}
+
+// IntersectSortedCells appends the cells common to a and b — both
+// row-major sorted and duplicate-free — onto dst (usually dst = a
+// scratch slice with len 0) and returns it, sorted and duplicate-free.
+func IntersectSortedCells(dst []CellRef, a, b SortedCells) []CellRef {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			dst = append(dst, a[i])
+			i++
+			j++
+		case a[i].Less(b[j]):
+			i++
+		default:
+			j++
+		}
+	}
+	return dst
+}
+
+// MergeSortedCells appends the union of a and b — both row-major
+// sorted and duplicate-free — onto dst and returns it, sorted and
+// duplicate-free.
+func MergeSortedCells(dst []CellRef, a, b SortedCells) []CellRef {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			dst = append(dst, a[i])
+			i++
+			j++
+		case a[i].Less(b[j]):
+			dst = append(dst, a[i])
+			i++
+		default:
+			dst = append(dst, b[j])
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}
+
 // String renders the set as a sorted list, for test failure messages.
 func (s CellSet) String() string {
 	var b strings.Builder

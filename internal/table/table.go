@@ -4,7 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -279,23 +279,27 @@ func (t *Table) DistinctColumnValues(col int) []Value {
 
 // SortCells orders a cell slice row-major in place and returns it.
 func SortCells(cells []CellRef) []CellRef {
-	sort.Slice(cells, func(i, j int) bool { return cells[i].Less(cells[j]) })
+	slices.SortFunc(cells, compareCells)
 	return cells
+}
+
+func compareCells(a, b CellRef) int {
+	if a.Row != b.Row {
+		return a.Row - b.Row
+	}
+	return a.Col - b.Col
 }
 
 // DedupCells returns the distinct cells of the slice, sorted
 // row-major — the canonical witness-cell form shared by the plan
-// executor and the legacy interpreters.
+// executor and the legacy interpreters. The input is sorted and
+// compacted in place (callers pass freshly built concatenations), so
+// the whole operation is map- and allocation-free.
 func DedupCells(cells []CellRef) []CellRef {
-	seen := make(map[CellRef]bool, len(cells))
-	out := cells[:0:0]
-	for _, c := range cells {
-		if !seen[c] {
-			seen[c] = true
-			out = append(out, c)
-		}
+	if len(cells) == 0 {
+		return cells
 	}
-	return SortCells(out)
+	return slices.Compact(SortCells(cells))
 }
 
 // DedupValues keeps the first occurrence of each distinct value (by

@@ -30,6 +30,14 @@ type Tolerances struct {
 	// below this floor (sub-jitter measurements carry no signal).
 	// Default 0.05ms.
 	MinLatencyFloorMs float64
+	// MaxAllocsRatio caps current/baseline allocs-per-op. Allocation
+	// counts are far less noisy than wall-clock latency, so the
+	// tolerance is tight. Default 1.5.
+	MaxAllocsRatio float64
+	// MinAllocsFloor mutes the allocation check when both sides are
+	// below this many allocs/op (tiny runs are all driver overhead).
+	// Default 50.
+	MinAllocsFloor float64
 }
 
 func (t Tolerances) withDefaults() Tolerances {
@@ -45,6 +53,8 @@ func (t Tolerances) withDefaults() Tolerances {
 	def(&t.MaxShedRateDelta, 0.02)
 	def(&t.MaxCacheHitDrop, 0.15)
 	def(&t.MinLatencyFloorMs, 0.05)
+	def(&t.MaxAllocsRatio, 1.5)
+	def(&t.MinAllocsFloor, 50)
 	return t
 }
 
@@ -151,8 +161,56 @@ func Compare(baseline, current *Report, tol Tolerances) []Violation {
 			"cache hit ratio dropped beyond tolerance")
 	}
 
+	// Allocation counts are near-deterministic for an identical op
+	// multiset, so the gate catches alloc regressions the latency
+	// tolerances would wave through. Skipped against baselines that
+	// predate the allocs_per_op field (zero there).
+	if baseline.AllocsPerOp > tol.MinAllocsFloor || current.AllocsPerOp > tol.MinAllocsFloor {
+		if baseline.AllocsPerOp > 0 {
+			if ratio := current.AllocsPerOp / baseline.AllocsPerOp; ratio > tol.MaxAllocsRatio {
+				add("allocs_per_op", baseline.AllocsPerOp, current.AllocsPerOp, tol.MaxAllocsRatio,
+					fmt.Sprintf("allocations per op grew %.2fx, over the %.2fx tolerance", ratio, tol.MaxAllocsRatio))
+			}
+		}
+	}
+
 	if cur := current.Counts[ClassInternal]; cur > 0 && baseline.Counts[ClassInternal] == 0 {
 		add("internal_errors", 0, float64(cur), 0, "run hit internal (5xx / contained panic) errors; baseline had none")
 	}
 	return out
+}
+
+// FormatComparison renders a benchstat-style old-vs-new digest of the
+// headline metrics — the artifact the CI perf-gate uploads on PRs so a
+// regression (or a win) is readable without opening two JSON reports.
+func FormatComparison(baseline, current *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %14s %14s %10s\n", "metric", "baseline", "current", "delta")
+	row := func(name string, base, cur float64) {
+		delta := "~"
+		if base != 0 {
+			pct := 100 * (cur - base) / base
+			sign := ""
+			if pct > 0 {
+				sign = "+"
+			}
+			delta = fmt.Sprintf("%s%.1f%%", sign, pct)
+		}
+		fmt.Fprintf(&b, "%-22s %14.3f %14.3f %10s\n", name, base, cur, delta)
+	}
+	row("throughput_ops_s", baseline.Throughput, current.Throughput)
+	row("latency_p50_ms", baseline.Latency.P50Ms, current.Latency.P50Ms)
+	row("latency_p90_ms", baseline.Latency.P90Ms, current.Latency.P90Ms)
+	row("latency_p99_ms", baseline.Latency.P99Ms, current.Latency.P99Ms)
+	row("latency_max_ms", baseline.Latency.MaxMs, current.Latency.MaxMs)
+	row("allocs_per_op", baseline.AllocsPerOp, current.AllocsPerOp)
+	row("bytes_per_op", baseline.BytesPerOp, current.BytesPerOp)
+	row("error_rate", rate(baseline.Errors, baseline.TotalOps), rate(current.Errors, current.TotalOps))
+	row("shed_timeout_rate",
+		rate(baseline.Sheds+baseline.Timeouts, baseline.TotalOps),
+		rate(current.Sheds+current.Timeouts, current.TotalOps))
+	row("cache_hit_ratio", baseline.CacheHitRatio, current.CacheHitRatio)
+	fmt.Fprintf(&b, "\nbaseline: mix=%s seed=%d ops=%d   current: mix=%s seed=%d ops=%d\n",
+		baseline.Mix, baseline.Seed, baseline.TotalOps, current.Mix, current.Seed, current.TotalOps)
+	return b.String()
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -83,6 +84,8 @@ func Run(ctx context.Context, tgt Target, corpus *Corpus, ops []Op, opts Options
 		defer cancel()
 	}
 
+	var memBefore, memAfter runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	var recs []*recorder
 	if opts.QPS > 0 {
@@ -91,9 +94,11 @@ func Run(ctx context.Context, tgt Target, corpus *Corpus, ops []Op, opts Options
 		recs = runClosedLoop(runCtx, tgt, ops, opts)
 	}
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&memAfter)
 
 	after, errAfter := tgt.EngineStats()
 	rep := buildReport(tgt.Name(), ops, recs, elapsed, opts)
+	rep.attachAllocStats(memBefore, memAfter)
 	if errBefore == nil && errAfter == nil {
 		rep.attachEngineStats(before, after)
 	}

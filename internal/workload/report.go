@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -61,6 +62,14 @@ type Report struct {
 
 	Latency LatencyStats          `json:"latency"`
 	PerKind map[string]KindReport `json:"per_kind"`
+
+	// AllocsPerOp / BytesPerOp are heap allocation objects and bytes
+	// per executed op, from runtime.MemStats deltas bracketing the run.
+	// They cover the whole process (driver included), so they gate the
+	// end-to-end allocation budget rather than one function; for HTTP
+	// targets they measure the client side only.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 
 	// CacheHitRatio is hits/(hits+misses) over the engine's result,
 	// answer and parse caches, deltas across the run.
@@ -143,6 +152,16 @@ func buildReport(target string, ops []Op, recs []*recorder, elapsed time.Duratio
 	return rep
 }
 
+// attachAllocStats derives per-op allocation metrics from the MemStats
+// snapshots bracketing the run.
+func (r *Report) attachAllocStats(before, after runtime.MemStats) {
+	if r.TotalOps == 0 {
+		return
+	}
+	r.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(r.TotalOps)
+	r.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(r.TotalOps)
+}
+
 // attachEngineStats records the post-run engine snapshot and derives
 // the run's cache hit ratio from before/after counter deltas.
 func (r *Report) attachEngineStats(before, after engine.Stats) {
@@ -190,9 +209,11 @@ func (r *Report) Summary() string {
 		"target=%s mix=%s seed=%d workers=%d ops=%d (%.1f ops/s over %.2fs)\n"+
 			"  latency ms: p50=%.3f p90=%.3f p99=%.3f max=%.3f mean=%.3f\n"+
 			"  ok=%d errors=%d sheds=%d timeouts=%d cached=%d cache_hit_ratio=%.3f\n"+
+			"  allocs/op=%.0f bytes/op=%.0f\n"+
 			"  op_set=%d hash=%s",
 		r.Target, r.Mix, r.Seed, r.Workers, r.TotalOps, r.Throughput, r.DurationS,
 		r.Latency.P50Ms, r.Latency.P90Ms, r.Latency.P99Ms, r.Latency.MaxMs, r.Latency.MeanMs,
 		r.Counts[ClassOK], r.Errors, r.Sheds, r.Timeouts, r.Cached, r.CacheHitRatio,
+		r.AllocsPerOp, r.BytesPerOp,
 		r.OpSetSize, r.OpSetHash)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"reflect"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -385,6 +386,32 @@ func TestReportRoundTripAndCompare(t *testing.T) {
 	short.TotalOps = rep.TotalOps / 4
 	if vs := Compare(rep, &short, Tolerances{}); len(vs) != 1 || vs[0].Metric != "run_shape" {
 		t.Fatalf("4x-shorter run must yield a run_shape violation, got %v", vs)
+	}
+
+	if rep.AllocsPerOp <= 0 || rep.BytesPerOp <= 0 {
+		t.Fatalf("run did not record allocation metrics: allocs/op=%v bytes/op=%v", rep.AllocsPerOp, rep.BytesPerOp)
+	}
+	hungry := *loaded
+	hungry.AllocsPerOp = rep.AllocsPerOp * 2
+	if vs := Compare(rep, &hungry, Tolerances{}); len(vs) == 0 {
+		t.Fatal("2x allocs/op growth not flagged")
+	} else if vs[0].Metric != "allocs_per_op" {
+		t.Fatalf("unexpected violation: %v", vs)
+	}
+	// A baseline predating the allocation fields (allocs_per_op == 0)
+	// must not trip the gate.
+	legacy := *rep
+	legacy.AllocsPerOp = 0
+	legacy.BytesPerOp = 0
+	if vs := Compare(&legacy, loaded, Tolerances{}); len(vs) != 0 {
+		t.Fatalf("legacy baseline without alloc fields must not regress: %v", vs)
+	}
+
+	sum := FormatComparison(rep, &hungry)
+	for _, want := range []string{"allocs_per_op", "bytes_per_op", "throughput_ops_s", "+100.0%"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("comparison summary missing %q:\n%s", want, sum)
+		}
 	}
 }
 
