@@ -19,7 +19,7 @@ PERF_REPORT   = bench_report.json
 PERF_SUMMARY  = perf_summary.txt
 PERF_FLAGS    = -max-p50-ratio 4 -max-p99-ratio 4 -min-throughput-ratio 0.2 -max-allocs-ratio 1.5 -summary $(PERF_SUMMARY)
 
-.PHONY: all build test vet fmt cover bench baseline perf-gate store-stress serve ci
+.PHONY: all build test vet fmt cover bench baseline perf-gate metrics-lint store-stress serve ci
 
 all: build
 
@@ -75,11 +75,21 @@ baseline:
 
 # perf-gate reproduces the CI job locally: run the canonical workload,
 # then diff the fresh report against the checked-in baseline.
+# -require-metrics makes the run fail unless the target's /metrics
+# scrape succeeds and is non-empty, so the observability surface is
+# load-tested on every gate run.
 perf-gate:
-	$(GO) run ./cmd/wtq-bench run -seed 1 -mix mixed -ops 600 -workers 4 -out $(PERF_REPORT)
+	$(GO) run ./cmd/wtq-bench run -seed 1 -mix mixed -ops 600 -workers 4 -require-metrics -out $(PERF_REPORT)
 	$(GO) run ./cmd/wtq-bench compare $(PERF_FLAGS) $(PERF_BASELINE) $(PERF_REPORT)
+
+# metrics-lint verifies the metric namespace: every registered series
+# name well-formed, collision-free and matching the canonical list in
+# internal/metric/registry_test.go. Registration panics make collisions
+# a wiring-time failure; this target makes them a reviewable diff.
+metrics-lint:
+	$(GO) test -run TestRegistryNames -count=1 ./internal/metric/
 
 serve:
 	$(GO) run ./cmd/wtq-server -demo
 
-ci: build vet fmt cover bench perf-gate
+ci: build vet fmt cover bench metrics-lint perf-gate

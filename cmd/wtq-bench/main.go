@@ -105,6 +105,7 @@ func cmdRun(args []string, def runDefaults, stdout, stderr io.Writer) int {
 	engineCache := fs.Int("engine-cache", 0, "in-process engine LRU entries per cache (0 = default)")
 	engineTimeout := fs.Duration("engine-timeout", 0, "in-process engine per-query timeout (0 = default)")
 	engineStoreBudget := fs.Int64("engine-store-budget", 0, "in-process engine table-store byte budget (0 = unlimited)")
+	requireMetrics := fs.Bool("require-metrics", false, "fail the run unless the target's /metrics scrape succeeds and is non-empty")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -143,6 +144,10 @@ func cmdRun(args []string, def runDefaults, stdout, stderr io.Writer) int {
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "wtq-bench: %v\n", err)
+		return 1
+	}
+	if *requireMetrics && (rep.Server == nil || rep.Server.Series == 0) {
+		fmt.Fprintln(stderr, "wtq-bench: -require-metrics: target /metrics scrape failed or was empty")
 		return 1
 	}
 	fmt.Fprintln(stdout, rep.Summary())

@@ -116,10 +116,20 @@ func TestRegisterTablePayloadCap(t *testing.T) {
 		t.Fatalf("oversize register: status %d, want 413 (%s)", resp.StatusCode, body)
 	}
 	var errBody struct {
-		Error string `json:"error"`
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+		ErrorString string `json:"error_string"`
 	}
-	if err := json.Unmarshal(body, &errBody); err != nil || errBody.Error == "" {
+	if err := json.Unmarshal(body, &errBody); err != nil || errBody.Error.Message == "" {
 		t.Fatalf("413 body is not the JSON error shape: %s (%v)", body, err)
+	}
+	if errBody.Error.Code != "too_large" {
+		t.Fatalf("413 code = %q, want too_large", errBody.Error.Code)
+	}
+	if errBody.ErrorString != errBody.Error.Message {
+		t.Fatalf("error_string %q != error.message %q", errBody.ErrorString, errBody.Error.Message)
 	}
 
 	if resp, _ := doJSON(t, http.MethodPatch, ts.URL+"/v1/tables/small", map[string]any{"rows": [][]string{{big}}}); resp.StatusCode != http.StatusRequestEntityTooLarge {
@@ -149,10 +159,15 @@ func TestRegisterTableBadPayloads(t *testing.T) {
 			continue
 		}
 		var errBody struct {
-			Error string `json:"error"`
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
 		}
-		if err := json.Unmarshal(body, &errBody); err != nil || errBody.Error == "" {
+		if err := json.Unmarshal(body, &errBody); err != nil || errBody.Error.Message == "" {
 			t.Errorf("%s: body is not the JSON error shape: %s", tc.name, body)
+		} else if errBody.Error.Code != "bad_request" {
+			t.Errorf("%s: code = %q, want bad_request", tc.name, errBody.Error.Code)
 		}
 	}
 }

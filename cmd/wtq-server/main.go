@@ -6,7 +6,8 @@
 // Endpoints:
 //
 //	POST   /v1/tables        register a table {name, columns, rows} or {name, csv}
-//	GET    /v1/tables        list registered tables
+//	GET    /v1/tables        list registered tables (full per-table objects)
+//	GET    /v1/tables/{name} one table: schema, rows, version, generation, bytes
 //	PATCH  /v1/tables/{name} append rows {rows} to a registered table
 //	DELETE /v1/tables/{name} drop a table
 //	POST   /v1/explain       {table, query} -> utterance + highlights + provenance
@@ -14,13 +15,34 @@
 //	POST   /v1/answer        {table, query} -> denotation only (answer-only fast path)
 //	POST   /v1/parse         {table, question, top_k} -> ranked candidate queries
 //	GET    /v1/healthz       liveness + table count
-//	GET    /v1/stats         engine counters (incl. store_bytes/store_evictions/store_tables)
+//	GET    /v1/stats         flat engine counters (compatibility shim over the registry)
+//	GET    /metrics          Prometheus text exposition of the full metric registry
+//	GET    /debug/pprof/*    net/http/pprof profiles (only with -pprof)
+//
+// Every non-2xx response carries the unified error envelope
+//
+//	{"error": {"code": "<machine_code>", "message": "..."}, "error_string": "..."}
+//
+// with stable codes: bad_request, unknown_table, too_large,
+// deadline_exceeded, canceled, overloaded, internal. The flat
+// "error_string" field preserves the pre-observability
+// {"error": "<string>"} message for existing clients and is
+// DEPRECATED: it will be dropped one release after this one; switch to
+// error.code/error.message.
+//
+// Observability: every endpoint is instrumented with
+// server.http.<endpoint>.{requests,errors,latency.seconds} series on
+// the engine's metric registry, which GET /metrics serves alongside
+// the engine.* pipeline counters/histograms and store.* gauges.
+// GET /v1/stats remains as a flat JSON shim rendered from the same
+// registry (note: its former duplicate "store_tables" field collapsed
+// into "tables").
 //
 // Table mutations (register over an existing name, PATCH, DELETE) bump
 // the store generation and synchronously invalidate every cached
 // result of the displaced version; in-flight queries keep the snapshot
 // they pinned. Table payload endpoints are capped by -max-table-bytes
-// (default 8 MiB) and reply 413 with a JSON error body beyond it.
+// (default 8 MiB) and reply 413 with code "too_large" beyond it.
 //
 // Run `wtq-server -demo` to start with the paper's Figure 1 olympics
 // table pre-registered; see examples/server for a curl transcript.
@@ -35,6 +57,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
@@ -42,6 +65,7 @@ import (
 	"time"
 
 	"nlexplain"
+	"nlexplain/internal/metric"
 )
 
 // defaultMaxTableBytes caps table payload bodies (POST/PATCH
@@ -54,25 +78,87 @@ type server struct {
 	// maxTableBytes bounds table payload request bodies; beyond it the
 	// server replies 413 with a JSON error body.
 	maxTableBytes int64
+	// httpReg is the "server.http" sub-registry of the engine's metric
+	// root; route() hangs per-endpoint series off it.
+	httpReg *metric.Registry
+	// requests is the service-wide request rate across all endpoints.
+	requests *metric.Rate
 }
 
-func newMux(e *nlexplain.Engine, maxTableBytes int64) *http.ServeMux {
-	if maxTableBytes <= 0 {
-		maxTableBytes = defaultMaxTableBytes
+// muxConfig configures newMux beyond the engine itself.
+type muxConfig struct {
+	maxTableBytes int64
+	// pprof mounts net/http/pprof under /debug/pprof/ when set. Off by
+	// default: profiles expose internals and cost CPU, so production
+	// operators opt in with the -pprof flag.
+	pprof bool
+}
+
+func newMux(e *nlexplain.Engine, cfg muxConfig) *http.ServeMux {
+	if cfg.maxTableBytes <= 0 {
+		cfg.maxTableBytes = defaultMaxTableBytes
 	}
-	s := &server{engine: e, maxTableBytes: maxTableBytes}
+	reg := e.Metrics()
+	httpReg := reg.Sub("server.http")
+	s := &server{
+		engine:        e,
+		maxTableBytes: cfg.maxTableBytes,
+		httpReg:       httpReg,
+		requests:      httpReg.Rate("requests", "HTTP requests across all endpoints"),
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/tables", s.handleRegisterTable)
-	mux.HandleFunc("GET /v1/tables", s.handleListTables)
-	mux.HandleFunc("PATCH /v1/tables/{name}", s.handleAppendRows)
-	mux.HandleFunc("DELETE /v1/tables/{name}", s.handleDropTable)
-	mux.HandleFunc("POST /v1/explain", s.handleExplain)
-	mux.HandleFunc("POST /v1/explain/batch", s.handleExplainBatch)
-	mux.HandleFunc("POST /v1/answer", s.handleAnswer)
-	mux.HandleFunc("POST /v1/parse", s.handleParse)
-	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.route(mux, "POST /v1/tables", "tables_register", s.handleRegisterTable)
+	s.route(mux, "GET /v1/tables", "tables_list", s.handleListTables)
+	s.route(mux, "GET /v1/tables/{name}", "tables_get", s.handleGetTable)
+	s.route(mux, "PATCH /v1/tables/{name}", "tables_append", s.handleAppendRows)
+	s.route(mux, "DELETE /v1/tables/{name}", "tables_drop", s.handleDropTable)
+	s.route(mux, "POST /v1/explain", "explain", s.handleExplain)
+	s.route(mux, "POST /v1/explain/batch", "explain_batch", s.handleExplainBatch)
+	s.route(mux, "POST /v1/answer", "answer", s.handleAnswer)
+	s.route(mux, "POST /v1/parse", "parse", s.handleParse)
+	s.route(mux, "GET /v1/healthz", "healthz", s.handleHealthz)
+	s.route(mux, "GET /v1/stats", "stats", s.handleStats)
+	s.route(mux, "GET /metrics", "metrics", s.handleMetrics)
+	if cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// statusWriter captures the response status for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// route mounts a handler with per-endpoint observability: a request
+// counter, an error counter (non-2xx responses) and a latency
+// histogram under server.http.<name>.*, plus the service-wide rate.
+func (s *server) route(mux *http.ServeMux, pattern, name string, h http.HandlerFunc) {
+	r := s.httpReg.Sub(name)
+	reqs := r.Counter("requests", "requests to "+pattern)
+	errs := r.Counter("errors", "non-2xx responses from "+pattern)
+	lat := r.LatencyHistogram("latency.seconds", "response latency of "+pattern)
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		s.requests.Mark()
+		reqs.Inc()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, req)
+		if sw.status >= 300 {
+			errs.Inc()
+		}
+		lat.RecordDuration(time.Since(start))
+	})
 }
 
 // encBuf pairs a reusable buffer with the encoder bound to it; the
@@ -103,7 +189,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 		// marshals, so this cannot recurse.)
 		encPool.Put(e)
 		log.Printf("encoding response: %v", err)
-		writeError(w, http.StatusInternalServerError, "internal server error")
+		writeError(w, http.StatusInternalServerError, codeInternal, "internal server error")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -116,12 +202,40 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-type errorBody struct {
-	Error string `json:"error"`
+// Stable machine-readable error codes of the unified error envelope.
+// Codes are part of the API contract: clients branch on them, so they
+// never change meaning or disappear.
+const (
+	codeBadRequest       = "bad_request"
+	codeUnknownTable     = "unknown_table"
+	codeTooLarge         = "too_large"
+	codeDeadlineExceeded = "deadline_exceeded"
+	codeCanceled         = "canceled"
+	codeOverloaded       = "overloaded"
+	codeInternal         = "internal"
+)
+
+// errorInfo is the structured error of the unified envelope.
+type errorInfo struct {
+	// Code is a stable machine-readable class (see the code* constants).
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+// errorBody is the response body of every non-2xx reply.
+type errorBody struct {
+	Error errorInfo `json:"error"`
+	// ErrorString preserves the pre-observability flat error shape
+	// ({"error": "<string>"} before the envelope redesign made "error"
+	// an object). DEPRECATED: dropped one release after its
+	// introduction; read Error.Message instead.
+	ErrorString string `json:"error_string"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	writeJSON(w, status, errorBody{Error: errorInfo{Code: code, Message: msg}, ErrorString: msg})
 }
 
 // errStatus maps a pipeline error to an HTTP status: missing tables
@@ -145,6 +259,25 @@ func errStatus(err error) int {
 	}
 }
 
+// errCode maps a pipeline error to its stable envelope code, the
+// machine-readable twin of errStatus.
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return codeDeadlineExceeded
+	case errors.Is(err, context.Canceled):
+		return codeCanceled
+	case errors.Is(err, nlexplain.ErrUnknownTable):
+		return codeUnknownTable
+	case errors.Is(err, nlexplain.ErrInternal):
+		return codeInternal
+	case errors.Is(err, nlexplain.ErrOverloaded):
+		return codeOverloaded
+	default:
+		return codeBadRequest
+	}
+}
+
 // errMessage is the client-facing text for a pipeline error. Contained
 // panics (ErrInternal) are logged server-side and replaced with a
 // generic message so internal state never reaches the response body.
@@ -156,24 +289,29 @@ func errMessage(err error) string {
 	return err.Error()
 }
 
+// writePipelineError books a pipeline failure onto the wire with its
+// mapped status, stable code and sanitized message.
+func writePipelineError(w http.ResponseWriter, err error) {
+	writeError(w, errStatus(err), errCode(err), "%s", errMessage(err))
+}
+
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return decodeCapped(w, r, v, 16<<20)
 }
 
 // decodeCapped decodes a JSON body bounded by limit bytes. An
-// over-limit body maps to 413 (with the JSON error shape every other
-// failure uses), not 400: the request may be well-formed, the server
-// just refuses to buffer it.
+// over-limit body maps to 413 with code "too_large", not 400: the
+// request may be well-formed, the server just refuses to buffer it.
 func decodeCapped(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
-			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxErr.Limit)
+			writeError(w, http.StatusRequestEntityTooLarge, codeTooLarge, "request body exceeds %d bytes", maxErr.Limit)
 			return false
 		}
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "decoding request: %v", err)
 		return false
 	}
 	return true
@@ -194,7 +332,7 @@ func (s *server) handleRegisterTable(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Name == "" {
-		writeError(w, http.StatusBadRequest, "missing table name")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "missing table name")
 		return
 	}
 	var (
@@ -211,14 +349,29 @@ func (s *server) handleRegisterTable(w http.ResponseWriter, r *http.Request) {
 		info, err = s.engine.RegisterRaw(req.Name, req.Columns, req.Rows)
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "registering table: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "registering table: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
 }
 
+// handleListTables is GET /v1/tables: the same full per-table objects
+// GET /v1/tables/{name} serves, sorted by name.
 func (s *server) handleListTables(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"tables": s.engine.Tables()})
+	writeJSON(w, http.StatusOK, map[string]any{"tables": s.engine.TableDetails()})
+}
+
+// handleGetTable is GET /v1/tables/{name}: the table resource (schema,
+// row count, content-hash version, generation, resident bytes), making
+// the table endpoint symmetric across GET/PATCH/DELETE.
+func (s *server) handleGetTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	detail, ok := s.engine.TableDetail(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, codeUnknownTable, "unknown table: %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, detail)
 }
 
 type appendRowsRequest struct {
@@ -236,12 +389,12 @@ func (s *server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Rows) == 0 {
-		writeError(w, http.StatusBadRequest, "no rows to append")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "no rows to append")
 		return
 	}
 	info, err := s.engine.AppendRows(name, req.Rows)
 	if err != nil {
-		writeError(w, errStatus(err), "appending to table: %s", errMessage(err))
+		writeError(w, errStatus(err), errCode(err), "appending to table: %s", errMessage(err))
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -253,7 +406,7 @@ func (s *server) handleDropTable(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	info, ok := s.engine.DropTable(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown table: %q", name)
+		writeError(w, http.StatusNotFound, codeUnknownTable, "unknown table: %q", name)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"dropped": info})
@@ -276,7 +429,7 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	ex, cached, err := s.engine.ExplainCached(r.Context(), req.Table, req.Query)
 	if err != nil {
-		writeError(w, errStatus(err), "%s", errMessage(err))
+		writePipelineError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, explainResponse{EngineExplanation: ex, Cached: cached})
@@ -292,6 +445,9 @@ type batchItem struct {
 	Explanation *nlexplain.EngineExplanation `json:"explanation,omitempty"`
 	Cached      bool                         `json:"cached"`
 	Error       string                       `json:"error,omitempty"`
+	// ErrorCode is the stable machine code of Error (same vocabulary as
+	// the top-level error envelope).
+	ErrorCode string `json:"error_code,omitempty"`
 }
 
 type batchResponse struct {
@@ -305,7 +461,7 @@ func (s *server) handleExplainBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Queries) == 0 {
-		writeError(w, http.StatusBadRequest, "empty batch")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "empty batch")
 		return
 	}
 	reqs := make([]nlexplain.ExplainRequest, len(req.Queries))
@@ -322,6 +478,7 @@ func (s *server) handleExplainBatch(w http.ResponseWriter, r *http.Request) {
 		item := batchItem{Explanation: res.Explanation, Cached: res.Cached}
 		if res.Err != nil {
 			item.Error = errMessage(res.Err)
+			item.ErrorCode = errCode(res.Err)
 			resp.Errors++
 		}
 		resp.Results[i] = item
@@ -344,7 +501,7 @@ func (s *server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	}
 	ans, cached, err := s.engine.ExplainAnswer(r.Context(), req.Table, req.Query)
 	if err != nil {
-		writeError(w, errStatus(err), "%s", errMessage(err))
+		writePipelineError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, answerResponse{EngineAnswer: ans, Cached: cached})
@@ -363,7 +520,7 @@ func (s *server) handleParse(w http.ResponseWriter, r *http.Request) {
 	}
 	cands, err := s.engine.ParseQuestion(r.Context(), req.Table, req.Question, req.TopK)
 	if err != nil {
-		writeError(w, errStatus(err), "%s", errMessage(err))
+		writePipelineError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"question": req.Question, "candidates": cands})
@@ -373,8 +530,19 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "tables": len(s.engine.Tables())})
 }
 
+// handleStats serves the flat counter shim, rendered from the same
+// metric registry GET /metrics exposes.
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+// handleMetrics serves the full hierarchical registry (engine.*,
+// store.*, server.http.*) as Prometheus text exposition.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.engine.Metrics().WritePrometheus(w); err != nil {
+		log.Printf("writing /metrics: %v", err)
+	}
 }
 
 // demoTable registers the paper's Figure 1 olympics running example.
@@ -399,6 +567,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query timeout (0 = default 10s)")
 	storeBudget := flag.Int64("store-budget", 0, "table store byte budget; over it cold tables' derived indexes are evicted (0 = unlimited)")
 	maxTableBytes := flag.Int64("max-table-bytes", defaultMaxTableBytes, "max table payload body size in bytes (413 beyond it)")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	demo := flag.Bool("demo", false, "pre-register the olympics demo table")
 	flag.Parse()
 
@@ -432,8 +601,11 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(e, *maxTableBytes),
+		Handler:           newMux(e, muxConfig{maxTableBytes: *maxTableBytes, pprof: *pprofFlag}),
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if *pprofFlag {
+		log.Printf("pprof enabled on %s/debug/pprof/", *addr)
 	}
 	log.Printf("wtq-server listening on %s (%d tables)", *addr, len(e.Tables()))
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -22,7 +22,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *nlexplain.Engine) {
 func newTestServerCapped(t *testing.T, maxTableBytes int64) (*httptest.Server, *nlexplain.Engine) {
 	t.Helper()
 	e := nlexplain.NewEngine(nlexplain.EngineOptions{Workers: 4})
-	ts := httptest.NewServer(newMux(e, maxTableBytes))
+	ts := httptest.NewServer(newMux(e, muxConfig{maxTableBytes: maxTableBytes}))
 	t.Cleanup(ts.Close)
 	return ts, e
 }

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"nlexplain"
+)
+
+// driveTraffic sends one of everything so every latency histogram and
+// cache counter has data behind it.
+func driveTraffic(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	registerOlympics(t, ts)
+	for _, req := range []struct {
+		path string
+		body map[string]string
+	}{
+		{"/v1/explain", map[string]string{"table": "olympics", "query": "count(Country.Greece)"}},
+		{"/v1/answer", map[string]string{"table": "olympics", "query": "max(R[Year].Record)"}},
+		{"/v1/parse", map[string]string{"table": "olympics", "question": "how many nations in 1900"}},
+	} {
+		if resp, body := postJSON(t, ts.URL+req.path, req.body); resp.StatusCode >= 500 {
+			t.Fatalf("%s: status %d: %s", req.path, resp.StatusCode, body)
+		}
+	}
+	// One guaranteed error, so the error counters are live too.
+	postJSON(t, ts.URL+"/v1/explain", map[string]string{"table": "nope", "query": "count(Country.Greece)"})
+}
+
+// TestStatsShimKeys locks GET /v1/stats to the PR-5 wire shape modulo
+// the one documented change: store_tables collapsed into tables (they
+// always carried the same value). testdata/stats_pr5.json is a real
+// response captured from the pre-registry server.
+func TestStatsShimKeys(t *testing.T) {
+	recorded, err := os.ReadFile(filepath.Join("testdata", "stats_pr5.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var old map[string]any
+	if err := json.Unmarshal(recorded, &old); err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := newTestServer(t)
+	driveTraffic(t, ts)
+	resp, body := getJSON(t, ts.URL+"/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var cur map[string]any
+	if err := json.Unmarshal(body, &cur); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, 0, len(old))
+	for k := range old {
+		if k != "store_tables" {
+			want = append(want, k)
+		}
+	}
+	got := make([]string, 0, len(cur))
+	for k := range cur {
+		got = append(got, k)
+	}
+	sort.Strings(want)
+	sort.Strings(got)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("stats keys drifted:\n got: %v\nwant: %v", got, want)
+	}
+	// The shim must still serve live values, not zeros.
+	if cur["executions"].(float64) < 1 || cur["errors"].(float64) < 1 || cur["tables"].(float64) != 1 {
+		t.Errorf("stats values not live: %s", body)
+	}
+}
+
+// TestMetricsExposition checks the acceptance floor for GET /metrics:
+// well-formed Prometheus text with at least 30 distinct series names,
+// including the explain and answer latency histograms and the
+// per-endpoint HTTP series.
+func TestMetricsExposition(t *testing.T) {
+	ts, _ := newTestServer(t)
+	driveTraffic(t, ts)
+	resp, body := getJSON(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content-type = %q", ct)
+	}
+	names := make(map[string]bool)
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		names[name] = true
+	}
+	if len(names) < 30 {
+		t.Errorf("only %d distinct series names, want >= 30", len(names))
+	}
+	for _, want := range []string{
+		"engine_explain_latency_seconds_bucket",
+		"engine_explain_latency_seconds_count",
+		"engine_answer_latency_seconds_bucket",
+		"engine_admission_wait_seconds_count",
+		"engine_cache_result_hits",
+		"engine_executions",
+		"store_bytes",
+		"store_tables",
+		"server_http_requests",
+		"server_http_explain_latency_seconds_bucket",
+		"server_http_explain_requests",
+		"server_http_explain_errors",
+	} {
+		if !names[want] {
+			t.Errorf("series %q missing from /metrics", want)
+		}
+	}
+}
+
+// TestErrorEnvelope locks the redesigned error shape: a stable machine
+// code plus message under "error", with the deprecated flat string
+// mirrored in "error_string".
+func TestErrorEnvelope(t *testing.T) {
+	ts, _ := newTestServer(t)
+	registerOlympics(t, ts)
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+		status int
+		code   string
+	}{
+		{"unknown table resource", http.MethodGet, "/v1/tables/nope", nil, http.StatusNotFound, "unknown_table"},
+		{"unknown table explain", http.MethodPost, "/v1/explain", map[string]string{"table": "nope", "query": "count(Country.Greece)"}, http.StatusNotFound, "unknown_table"},
+		{"bad query", http.MethodPost, "/v1/explain", map[string]string{"table": "olympics", "query": "not a query"}, http.StatusBadRequest, "bad_request"},
+		{"malformed body", http.MethodPost, "/v1/answer", "not an object", http.StatusBadRequest, "bad_request"},
+		{"drop unknown", http.MethodDelete, "/v1/tables/nope", nil, http.StatusNotFound, "unknown_table"},
+	}
+	for _, tc := range cases {
+		resp, body := doJSON(t, tc.method, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
+			continue
+		}
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+			ErrorString string `json:"error_string"`
+		}
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Errorf("%s: %v: %s", tc.name, err, body)
+			continue
+		}
+		if env.Error.Code != tc.code {
+			t.Errorf("%s: code = %q, want %q", tc.name, env.Error.Code, tc.code)
+		}
+		if env.Error.Message == "" || env.Error.Message != env.ErrorString {
+			t.Errorf("%s: message %q / error_string %q mismatch", tc.name, env.Error.Message, env.ErrorString)
+		}
+	}
+}
+
+// TestTableResource covers GET /v1/tables/{name} and the list endpoint
+// serving the same per-table objects.
+func TestTableResource(t *testing.T) {
+	ts, _ := newTestServer(t)
+	registerOlympics(t, ts)
+	resp, body := getJSON(t, ts.URL+"/v1/tables/olympics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var det nlexplain.TableDetail
+	if err := json.Unmarshal(body, &det); err != nil {
+		t.Fatal(err)
+	}
+	if det.Name != "olympics" || det.Rows != 6 || det.Cols != 4 {
+		t.Errorf("detail = %+v", det)
+	}
+	if len(det.Columns) != 4 || det.Columns[0] != "Year" {
+		t.Errorf("columns = %v", det.Columns)
+	}
+	if det.Version == "" || det.Generation == 0 || det.Bytes <= 0 {
+		t.Errorf("version/generation/bytes not populated: %+v", det)
+	}
+
+	resp, body = getJSON(t, ts.URL+"/v1/tables")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status %d", resp.StatusCode)
+	}
+	var list struct {
+		Tables []nlexplain.TableDetail `json:"tables"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Tables) != 1 {
+		t.Fatalf("list = %+v", list.Tables)
+	}
+	if got := list.Tables[0]; got.Name != det.Name || got.Bytes != det.Bytes || len(got.Columns) != 4 {
+		t.Errorf("list entry %+v != detail %+v", got, det)
+	}
+}
+
+// TestPprofGating: the pprof surface only mounts behind -pprof.
+func TestPprofGating(t *testing.T) {
+	e := nlexplain.NewEngine(nlexplain.EngineOptions{Workers: 2})
+	off := httptest.NewServer(newMux(e, muxConfig{}))
+	defer off.Close()
+	if resp, _ := getJSON(t, off.URL+"/debug/pprof/"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof off: status %d, want 404", resp.StatusCode)
+	}
+	e2 := nlexplain.NewEngine(nlexplain.EngineOptions{Workers: 2})
+	on := httptest.NewServer(newMux(e2, muxConfig{pprof: true}))
+	defer on.Close()
+	if resp, _ := getJSON(t, on.URL+"/debug/pprof/"); resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof on: status %d, want 200", resp.StatusCode)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -120,7 +121,10 @@ type Engine struct {
 
 	sem   chan struct{} // worker pool: bounds running pipeline computations
 	admit chan struct{} // admission queue: bounds running + queued computations
-	ctr   counters
+
+	// met is the registry-backed instrumentation ("engine." and
+	// "store." namespaces); see metrics.go and internal/metric.
+	met *metrics
 }
 
 // New builds an Engine with the given options (zero value = defaults).
@@ -141,6 +145,7 @@ func New(opts Options) *Engine {
 		sem:        make(chan struct{}, opts.Workers),
 		admit:      make(chan struct{}, opts.MaxPending),
 	}
+	e.initMetrics()
 	// Version-scoped invalidation: the store delivers every replace and
 	// drop synchronously, so by the time a mutation returns, no cache
 	// can serve the displaced version. (A computation already in flight
@@ -215,7 +220,7 @@ func (e *Engine) AppendRows(name string, rows [][]string) (TableInfo, error) {
 	snap, err := e.store.Append(name, rows)
 	if err != nil {
 		if errors.Is(err, store.ErrUnknownTable) {
-			e.ctr.errors.Add(1)
+			e.met.errors.Inc()
 			return TableInfo{}, fmt.Errorf("%w: %q", ErrUnknownTable, name)
 		}
 		return TableInfo{}, err
@@ -251,6 +256,48 @@ func (e *Engine) Tables() []TableInfo {
 	for _, s := range snaps {
 		out = append(out, infoOf(s))
 	}
+	return out
+}
+
+// TableDetail is the full table resource on the wire: TableInfo plus
+// the schema and the store's resident-byte estimate, served by
+// GET /v1/tables/{name} and per entry by GET /v1/tables.
+type TableDetail struct {
+	TableInfo
+	// Columns is the table's header, in column order.
+	Columns []string `json:"columns"`
+	// Bytes is the table's resident footprint estimate: base data plus
+	// currently built derived indexes.
+	Bytes int64 `json:"bytes"`
+}
+
+func detailOf(s *store.Snapshot) TableDetail {
+	t := s.Table()
+	return TableDetail{
+		TableInfo: infoOf(s),
+		Columns:   t.Columns(),
+		Bytes:     t.BaseBytes() + t.DerivedBytes(),
+	}
+}
+
+// TableDetail returns the full resource view of one registered table.
+func (e *Engine) TableDetail(name string) (TableDetail, bool) {
+	snap, ok := e.store.Get(name)
+	if !ok {
+		return TableDetail{}, false
+	}
+	return detailOf(snap), true
+}
+
+// TableDetails lists the full resource view of every registered table,
+// sorted by name so list responses are stable.
+func (e *Engine) TableDetails() []TableDetail {
+	snaps := e.store.Snapshots()
+	out := make([]TableDetail, 0, len(snaps))
+	for _, s := range snaps {
+		out = append(out, detailOf(s))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
@@ -309,10 +356,10 @@ type Explanation struct {
 // parseQuery resolves a query string through the AST cache.
 func (e *Engine) parseQuery(src string) (dcs.Expr, error) {
 	if v, ok := e.asts.get(src); ok {
-		e.ctr.astHits.Add(1)
+		e.met.astHits.Inc()
 		return v.(dcs.Expr), nil
 	}
-	e.ctr.astMisses.Add(1)
+	e.met.astMisses.Inc()
 	q, err := dcs.Parse(src)
 	if err != nil {
 		return nil, err
@@ -328,10 +375,10 @@ func (e *Engine) parseQuery(src string) (dcs.Expr, error) {
 func (e *Engine) compiledPlan(snap *store.Snapshot, q dcs.Expr, query string) (*dcs.Compiled, error) {
 	key := "plan\x00" + snap.Version() + "\x00" + query
 	if v, ok := e.plans.get(key); ok {
-		e.ctr.planHits.Add(1)
+		e.met.planHits.Inc()
 		return v.(*dcs.Compiled), nil
 	}
-	e.ctr.planMisses.Add(1)
+	e.met.planMisses.Inc()
 	c, err := dcs.Compile(q, snap.Table())
 	if err != nil {
 		return nil, err
@@ -372,8 +419,8 @@ func (e *Engine) compute(snap *store.Snapshot, tableName, query string) (*Explan
 		Grid:       doc.Table,
 		Provenance: provJSON(tab, h.Prov),
 	}
-	e.ctr.executions.Add(1)
-	e.ctr.latencyNanos.Add(uint64(time.Since(start)))
+	e.met.executions.Inc()
+	e.met.explainLatency.RecordDuration(time.Since(start))
 	return ex, nil
 }
 
@@ -393,7 +440,7 @@ func (e *Engine) withDefaultDeadline(ctx context.Context) (context.Context, cont
 // counts as a timeout; client cancellations are not pipeline signal.
 func (e *Engine) countCtxErr(err error) {
 	if errors.Is(err, context.DeadlineExceeded) {
-		e.ctr.timeouts.Add(1)
+		e.met.timeouts.Inc()
 	}
 }
 
@@ -417,15 +464,15 @@ func (e *Engine) ExplainCached(ctx context.Context, tableName, query string) (*E
 func (e *Engine) explain(ctx context.Context, tableName, query string) (*Explanation, bool, error) {
 	snap, ok := e.store.Get(tableName)
 	if !ok {
-		e.ctr.errors.Add(1)
+		e.met.errors.Inc()
 		return nil, false, fmt.Errorf("%w: %q", ErrUnknownTable, tableName)
 	}
 	key := snap.Version() + "\x00" + query
 	if v, ok := e.results.get(key); ok {
-		e.ctr.resultHits.Add(1)
+		e.met.resultHits.Inc()
 		return v.(*Explanation), true, nil
 	}
-	e.ctr.resultMisses.Add(1)
+	e.met.resultMisses.Inc()
 	ctx, cancel := e.withDefaultDeadline(ctx)
 	defer cancel()
 	if err := ctx.Err(); err != nil {
@@ -456,7 +503,7 @@ func (e *Engine) explain(ctx context.Context, tableName, query string) (*Explana
 		return nil, false, ctx.Err()
 	case <-call.done:
 		if call.err != nil {
-			e.ctr.errors.Add(1)
+			e.met.errors.Inc()
 			return nil, false, call.err
 		}
 		return call.val.(*Explanation), false, nil
@@ -484,15 +531,15 @@ type Answer struct {
 func (e *Engine) ExplainAnswer(ctx context.Context, tableName, query string) (*Answer, bool, error) {
 	snap, ok := e.store.Get(tableName)
 	if !ok {
-		e.ctr.errors.Add(1)
+		e.met.errors.Inc()
 		return nil, false, fmt.Errorf("%w: %q", ErrUnknownTable, tableName)
 	}
 	key := "answer\x00" + snap.Version() + "\x00" + query
 	if v, ok := e.answers.get(key); ok {
-		e.ctr.answerHits.Add(1)
+		e.met.answerHits.Inc()
 		return v.(*Answer), true, nil
 	}
-	e.ctr.answerMisses.Add(1)
+	e.met.answerMisses.Inc()
 	ctx, cancel := e.withDefaultDeadline(ctx)
 	defer cancel()
 	if err := ctx.Err(); err != nil {
@@ -511,7 +558,7 @@ func (e *Engine) ExplainAnswer(ctx context.Context, tableName, query string) (*A
 		return nil, false, ctx.Err()
 	case <-call.done:
 		if call.err != nil {
-			e.ctr.errors.Add(1)
+			e.met.errors.Inc()
 			return nil, false, call.err
 		}
 		return call.val.(*Answer), false, nil
@@ -535,8 +582,8 @@ func (e *Engine) computeAnswer(snap *store.Snapshot, tableName, query string) (*
 		return nil, fmt.Errorf("answering %s on %s: %w", q, tableName, err)
 	}
 	ans := &Answer{Table: tableName, Version: snap.Version(), Query: query, Result: res.String()}
-	e.ctr.answersComputed.Add(1)
-	e.ctr.latencyNanos.Add(uint64(time.Since(start)))
+	e.met.answersComputed.Inc()
+	e.met.answerLatency.RecordDuration(time.Since(start))
 	return ans, nil
 }
 
@@ -581,13 +628,17 @@ func (e *Engine) startPipeline(key string, call *inflightCall, work func() (any,
 	select {
 	case e.admit <- struct{}{}:
 	default:
-		e.ctr.sheds.Add(1)
+		e.met.sheds.Inc()
 		e.finishInflight(key, call, nil, ErrOverloaded)
 		return
 	}
+	admitted := time.Now()
 	go func() {
 		defer func() { <-e.admit }()
 		e.sem <- struct{}{}
+		// Queue wait: admitted past the shed check, parked until a
+		// worker slot freed up — the depth signal admission tuning needs.
+		e.met.admitWait.RecordDuration(time.Since(admitted))
 		var val any
 		var err error
 		defer func() {
@@ -629,7 +680,9 @@ type BatchResult struct {
 // canceled ctx fails every query that has not completed, including
 // those in flight.
 func (e *Engine) ExplainBatch(ctx context.Context, reqs []Request) []BatchResult {
-	e.ctr.batches.Add(1)
+	e.met.batches.Inc()
+	start := time.Now()
+	defer func() { e.met.batchLatency.RecordDuration(time.Since(start)) }()
 	out := make([]BatchResult, len(reqs))
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -687,7 +740,7 @@ type RankedCandidate struct {
 func (e *Engine) ParseQuestion(ctx context.Context, tableName, question string, topK int) ([]RankedCandidate, error) {
 	snap, ok := e.store.Get(tableName)
 	if !ok {
-		e.ctr.errors.Add(1)
+		e.met.errors.Inc()
 		return nil, fmt.Errorf("%w: %q", ErrUnknownTable, tableName)
 	}
 	ctx, cancel := e.withDefaultDeadline(ctx)
@@ -696,7 +749,7 @@ func (e *Engine) ParseQuestion(ctx context.Context, tableName, question string, 
 		e.countCtxErr(err)
 		return nil, err
 	}
-	e.ctr.parses.Add(1)
+	e.met.parses.Inc()
 
 	// Candidate generation is the service's most expensive step; like
 	// explain, it runs detached so ctx deadlines hold, takes a slot in
@@ -709,14 +762,19 @@ func (e *Engine) ParseQuestion(ctx context.Context, tableName, question string, 
 	key := "parse\x00" + snap.Version() + "\x00" + question
 	var cands []*semparse.Candidate
 	if v, ok := e.parseCache.get(key); ok {
-		e.ctr.parseHits.Add(1)
+		e.met.parseHits.Inc()
 		cands = v.([]*semparse.Candidate)
 	} else {
-		e.ctr.parseMisses.Add(1)
+		e.met.parseMisses.Inc()
 		call, leader := e.joinInflight(key)
 		if leader {
 			e.startPipeline(key, call,
-				func() (any, error) { return snap.Parser().ParseAll(question, snap.Table()), nil },
+				func() (any, error) {
+					start := time.Now()
+					cands := snap.Parser().ParseAll(question, snap.Table())
+					e.met.parseLatency.RecordDuration(time.Since(start))
+					return cands, nil
+				},
 				func(v any) { e.parseCache.put(key, v) })
 		}
 		select {
@@ -725,7 +783,7 @@ func (e *Engine) ParseQuestion(ctx context.Context, tableName, question string, 
 			return nil, ctx.Err()
 		case <-call.done:
 			if call.err != nil {
-				e.ctr.errors.Add(1)
+				e.met.errors.Inc()
 				return nil, call.err
 			}
 			cands = call.val.([]*semparse.Candidate)

@@ -1,37 +1,20 @@
 package engine
 
-import "sync/atomic"
-
-// counters holds the engine's hot-path metrics. All fields are updated
-// with atomic operations; Stats() takes a consistent-enough snapshot
-// for scraping (counters may be mid-batch, which is fine for gauges).
-type counters struct {
-	astHits      atomic.Uint64
-	astMisses    atomic.Uint64
-	planHits     atomic.Uint64
-	planMisses   atomic.Uint64
-	resultHits   atomic.Uint64
-	resultMisses atomic.Uint64
-	parseHits    atomic.Uint64
-	parseMisses  atomic.Uint64
-	answerHits   atomic.Uint64
-	answerMisses atomic.Uint64
-	executions   atomic.Uint64
-	// answersComputed counts uncached answer-only executions; together
-	// with executions it is the denominator of the average compute
-	// latency.
-	answersComputed atomic.Uint64
-	errors          atomic.Uint64
-	timeouts        atomic.Uint64
-	sheds           atomic.Uint64
-	batches         atomic.Uint64
-	parses          atomic.Uint64
-	latencyNanos    atomic.Uint64 // cumulative pipeline compute time (explain + answer)
-}
-
-// Stats is a JSON-ready snapshot of the engine's counters, served by
-// wtq-server's GET /v1/stats for scraping.
+// Stats is the backward-compatible JSON snapshot served by
+// wtq-server's GET /v1/stats. Since the observability redesign it is a
+// shim rendered from the engine's metric registry (see metrics.go and
+// internal/metric): the flat counter fields read the same registered
+// metrics GET /metrics exposes, so the two surfaces can never drift.
+//
+// Deprecation notes for /v1/stats consumers:
+//   - the former "store_tables" field duplicated "tables" (both read
+//     the store catalog size); it has been collapsed into "tables".
+//   - new code should scrape GET /metrics, which adds the latency
+//     histograms and per-endpoint HTTP series this flat shape cannot
+//     carry.
 type Stats struct {
+	// Tables is the store catalog size (formerly duplicated as
+	// "store_tables").
 	Tables          int     `json:"tables"`
 	ASTCacheSize    int     `json:"ast_cache_size"`
 	PlanCacheSize   int     `json:"plan_cache_size"`
@@ -58,49 +41,52 @@ type Stats struct {
 	AvgLatencyMs    float64 `json:"avg_latency_ms"`
 	TotalLatencyS   float64 `json:"total_latency_s"`
 	// Store gauges: resident-byte estimate, derived-index evictions
-	// under budget pressure, catalog size and the monotonic generation
-	// counter of the versioned table store.
+	// under budget pressure and the monotonic generation counter of the
+	// versioned table store.
 	StoreBytes     int64  `json:"store_bytes"`
 	StoreEvictions uint64 `json:"store_evictions"`
-	StoreTables    int    `json:"store_tables"`
 	StoreGen       uint64 `json:"store_generation"`
 }
 
-// Stats snapshots the engine's counters and cache sizes.
+// Stats renders the compatibility snapshot from the metric registry
+// and cache sizes. Counters may be mid-batch, which is fine for
+// scraping.
 func (e *Engine) Stats() Stats {
 	st := e.store.Stats()
-	tables := st.Tables
-	execs := e.ctr.executions.Load()
-	answers := e.ctr.answersComputed.Load()
-	nanos := e.ctr.latencyNanos.Load()
+	m := e.met
+	execs := m.executions.Count()
+	answers := m.answersComputed.Count()
+	// The explain and answer histograms record exactly the computations
+	// the old cumulative latency counter summed, so the shim's totals
+	// are preserved.
+	nanos := m.explainLatency.Sum() + m.answerLatency.Sum()
 	s := Stats{
-		Tables:          tables,
+		Tables:          st.Tables,
 		ASTCacheSize:    e.asts.len(),
 		PlanCacheSize:   e.plans.len(),
 		ResultCache:     e.results.len(),
 		AnswerCacheSize: e.answers.len(),
 		ParseCacheSize:  e.parseCache.len(),
-		ASTHits:         e.ctr.astHits.Load(),
-		ASTMisses:       e.ctr.astMisses.Load(),
-		PlanHits:        e.ctr.planHits.Load(),
-		PlanMisses:      e.ctr.planMisses.Load(),
-		ResultHits:      e.ctr.resultHits.Load(),
-		ResultMisses:    e.ctr.resultMisses.Load(),
-		AnswerHits:      e.ctr.answerHits.Load(),
-		AnswerMisses:    e.ctr.answerMisses.Load(),
-		ParseHits:       e.ctr.parseHits.Load(),
-		ParseMisses:     e.ctr.parseMisses.Load(),
+		ASTHits:         m.astHits.Count(),
+		ASTMisses:       m.astMisses.Count(),
+		PlanHits:        m.planHits.Count(),
+		PlanMisses:      m.planMisses.Count(),
+		ResultHits:      m.resultHits.Count(),
+		ResultMisses:    m.resultMisses.Count(),
+		AnswerHits:      m.answerHits.Count(),
+		AnswerMisses:    m.answerMisses.Count(),
+		ParseHits:       m.parseHits.Count(),
+		ParseMisses:     m.parseMisses.Count(),
 		Executions:      execs,
 		Answers:         answers,
-		Errors:          e.ctr.errors.Load(),
-		Timeouts:        e.ctr.timeouts.Load(),
-		Sheds:           e.ctr.sheds.Load(),
-		Batches:         e.ctr.batches.Load(),
-		Parses:          e.ctr.parses.Load(),
+		Errors:          m.errors.Count(),
+		Timeouts:        m.timeouts.Count(),
+		Sheds:           m.sheds.Count(),
+		Batches:         m.batches.Count(),
+		Parses:          m.parses.Count(),
 		TotalLatencyS:   float64(nanos) / 1e9,
 		StoreBytes:      st.Bytes,
 		StoreEvictions:  st.Evictions,
-		StoreTables:     st.Tables,
 		StoreGen:        st.Gen,
 	}
 	if computed := execs + answers; computed > 0 {

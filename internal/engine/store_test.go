@@ -145,7 +145,7 @@ func TestStoreMutationLifecycle(t *testing.T) {
 	if !ok || dropped.Name != "olympics" {
 		t.Fatalf("DropTable = %+v, %v", dropped, ok)
 	}
-	if s := e.Stats(); s.ResultCache != 0 || s.StoreTables != 0 {
+	if s := e.Stats(); s.ResultCache != 0 || s.Tables != 0 {
 		t.Fatalf("caches/tables not empty after drop: %+v", s)
 	}
 	if _, err := e.Explain(ctx, "olympics", q); !errors.Is(err, ErrUnknownTable) {
@@ -161,8 +161,8 @@ func TestStoreMutationLifecycle(t *testing.T) {
 func TestStoreStatsSurfaced(t *testing.T) {
 	e := newTestEngine(t)
 	s := e.Stats()
-	if s.StoreTables != 1 || s.Tables != 1 {
-		t.Errorf("StoreTables = %d Tables = %d, want 1/1", s.StoreTables, s.Tables)
+	if s.Tables != 1 {
+		t.Errorf("Tables = %d, want 1 (store catalog size)", s.Tables)
 	}
 	if s.StoreBytes <= 0 {
 		t.Errorf("StoreBytes = %d, want > 0", s.StoreBytes)

@@ -1,0 +1,140 @@
+package metric
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestBucketLayout checks the structural invariants the quantile error
+// bound rests on: every value maps into a bucket whose inclusive upper
+// bound is at least the value and overshoots it by at most
+// 1/histSubCount relative error; bucket upper bounds are strictly
+// increasing.
+func TestBucketLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := []uint64{0, 1, 7, 8, 9, 15, 16, 17, 127, 128, 1 << 20, 1<<63 - 1, 1 << 63, ^uint64(0)}
+	for i := 0; i < 10000; i++ {
+		vals = append(vals, rng.Uint64()>>(uint(rng.Intn(64))))
+	}
+	for _, v := range vals {
+		i := bucketIndex(v)
+		if i < 0 || i >= histNumBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		up := bucketUpper(i)
+		if up < v {
+			t.Fatalf("bucketUpper(%d) = %d < value %d", i, up, v)
+		}
+		if v >= histSubCount && up-v > v/histSubCount {
+			t.Fatalf("bucketUpper(%d) = %d overshoots %d by %d (> %d)", i, up, v, up-v, v/histSubCount)
+		}
+		if v < histSubCount && up != v {
+			t.Fatalf("small value %d not exact: upper %d", v, up)
+		}
+	}
+	for i := 1; i < histNumBuckets; i++ {
+		if bucketUpper(i) <= bucketUpper(i-1) {
+			t.Fatalf("bucket uppers not increasing at %d: %d <= %d", i, bucketUpper(i), bucketUpper(i-1))
+		}
+	}
+}
+
+// TestQuantileProperty records seeded random samples and checks every
+// histogram quantile against the exact nearest-rank quantile of the
+// same samples: the histogram may over-report by at most the relative
+// bucket width, and never under-reports.
+func TestQuantileProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		h := NewHistogram("t")
+		n := 1 + rng.Intn(5000)
+		samples := make([]uint64, n)
+		shift := uint(rng.Intn(50))
+		for i := range samples {
+			samples[i] = rng.Uint64() >> shift
+			h.RecordValue(int64(samples[i] & (1<<62 - 1)))
+			samples[i] &= 1<<62 - 1
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range []float64{0.01, 0.5, 0.9, 0.99, 1.0} {
+			rank := int(float64(n) * q)
+			if float64(rank) < q*float64(n) || rank == 0 {
+				rank++
+			}
+			if rank > n {
+				rank = n
+			}
+			exact := samples[rank-1]
+			got := h.Quantile(q)
+			if got < exact {
+				t.Fatalf("trial %d q=%.2f: histogram %d under-reports exact %d", trial, q, got, exact)
+			}
+			if got > exact+exact/histSubCount {
+				t.Fatalf("trial %d q=%.2f: histogram %d overshoots exact %d beyond bucket width", trial, q, got, exact)
+			}
+		}
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram("t")
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	h.RecordValue(-5) // clamps to 0
+	h.RecordValue(3)
+	h.RecordValue(7)
+	if h.Count() != 3 || h.Sum() != 10 || h.Max() != 7 {
+		t.Fatalf("count=%d sum=%d max=%d", h.Count(), h.Sum(), h.Max())
+	}
+	// Values < histSubCount land in exact buckets, so small-value
+	// quantiles are exact.
+	if got := h.Quantile(0.5); got != 3 {
+		t.Errorf("p50 = %d, want 3", got)
+	}
+	if got := h.Quantile(1.0); got != 7 {
+		t.Errorf("p100 = %d, want 7", got)
+	}
+}
+
+func TestLatencyHistogramScale(t *testing.T) {
+	h := NewLatencyHistogram("t")
+	h.RecordDuration(2 * time.Second)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// 2s recorded as 2e9ns must expose ~2 seconds (within bucket width).
+	if s.P50 < 2.0 || s.P50 > 2.0*1.125 {
+		t.Errorf("p50 = %f, want ~2s", s.P50)
+	}
+	if s.Sum != 2.0 {
+		t.Errorf("sum = %f, want 2", s.Sum)
+	}
+	if s.Max < 2.0 || s.Max > 2.0*1.125 {
+		t.Errorf("max = %f, want ~2s", s.Max)
+	}
+}
+
+func TestSnapshotCumulativeBuckets(t *testing.T) {
+	h := NewHistogram("t")
+	for v := 0; v < 100; v++ {
+		h.RecordValue(int64(v))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	var prev uint64
+	for i, b := range s.Buckets {
+		if b.CumCount <= prev && i > 0 {
+			t.Fatalf("bucket %d cumulative count not increasing: %d <= %d", i, b.CumCount, prev)
+		}
+		prev = b.CumCount
+	}
+	if prev != 100 {
+		t.Fatalf("final cumulative = %d, want 100", prev)
+	}
+}

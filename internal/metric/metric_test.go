@@ -1,0 +1,159 @@
+package metric
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeRate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs", "requests")
+	c.Inc()
+	c.Add(4)
+	if got := c.Count(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+	var backing int64 = 42
+	gf := r.GaugeFunc("size", "backing size", func() int64 { return backing })
+	if got := gf.Value(); got != 42 {
+		t.Errorf("gauge func = %d, want 42", got)
+	}
+	rate := r.Rate("events", "event rate")
+	rate.Mark()
+	rate.Add(9)
+	if got := rate.Count(); got != 10 {
+		t.Errorf("rate count = %d, want 10", got)
+	}
+	if rate.PerSec() <= 0 {
+		t.Errorf("rate per-sec = %f, want > 0", rate.PerSec())
+	}
+}
+
+func TestSubRegistriesShareNamespace(t *testing.T) {
+	root := NewRegistry()
+	eng := root.Sub("engine")
+	cache := eng.Sub("cache")
+	cache.Counter("hits", "h")
+	root.Sub("engine.cache").Counter("misses", "m")
+	want := []string{"engine.cache.hits", "engine.cache.misses"}
+	got := root.Names()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	if m, ok := root.Get("engine.cache.hits"); !ok || m.Name() != "engine.cache.hits" {
+		t.Fatalf("Get(engine.cache.hits) = %v, %v", m, ok)
+	}
+	// Duplicate registration across different Sub handles of the same
+	// namespace must panic.
+	mustPanic(t, "duplicate", func() { eng.Counter("cache.hits", "dup") })
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	bad := []string{"", ".", "a.", ".a", "a..b", "A", "has-dash", "has space", "caféx"}
+	for _, name := range bad {
+		mustPanic(t, name, func() { NewRegistry().Counter(name, "h") })
+	}
+	ok := []string{"a", "a0", "a_b", "a.b", "engine.cache.plan.hits", "x9.y_1"}
+	for _, name := range ok {
+		NewRegistry().Counter(name, "h") // must not panic
+	}
+}
+
+func TestSnapshotShapes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "h").Add(3)
+	r.Gauge("g", "h").Set(-2)
+	r.Rate("r", "h").Add(5)
+	h := r.Histogram("h", "h")
+	h.RecordValue(100)
+	snap := r.Snapshot()
+	if snap["c"] != uint64(3) {
+		t.Errorf("snapshot c = %v", snap["c"])
+	}
+	if snap["g"] != int64(-2) {
+		t.Errorf("snapshot g = %v", snap["g"])
+	}
+	rm, ok := snap["r"].(map[string]any)
+	if !ok || rm["count"] != uint64(5) {
+		t.Errorf("snapshot r = %v", snap["r"])
+	}
+	hm, ok := snap["h"].(map[string]any)
+	if !ok || hm["count"] != uint64(1) {
+		t.Errorf("snapshot h = %v", snap["h"])
+	}
+}
+
+// TestConcurrentRecordAndScrape hammers one registry from 8 goroutines
+// that register fresh metrics and record on shared ones while two more
+// continuously render the Prometheus exposition and visit the tree.
+// Run under -race this is the package's thread-safety gate.
+func TestConcurrentRecordAndScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("shared.count", "h")
+	h := r.LatencyHistogram("shared.latency.seconds", "h")
+	g := r.Gauge("shared.depth", "h")
+
+	const workers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			sub := r.Sub("w" + string(rune('a'+id)))
+			own := sub.Counter("ops", "h")
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				own.Inc()
+				g.Add(1)
+				h.RecordDuration(time.Duration(j%1000) * time.Microsecond)
+				g.Add(-1)
+			}
+		}(i)
+	}
+	deadline := time.After(200 * time.Millisecond)
+	for done := false; !done; {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		r.Visit(func(m Metric) { _ = m.Name() })
+		_ = r.Snapshot()
+		select {
+		case <-deadline:
+			done = true
+		default:
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if c.Count() == 0 || h.Count() == 0 {
+		t.Fatalf("no recordings landed: count=%d hist=%d", c.Count(), h.Count())
+	}
+	if got := h.Count(); got != c.Count() {
+		t.Fatalf("count mismatch: counter=%d hist=%d", c.Count(), got)
+	}
+}
+
+func mustPanic(t *testing.T, label string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", label)
+		}
+	}()
+	fn()
+}

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"nlexplain/internal/metric"
 	"nlexplain/internal/semparse"
 	"nlexplain/internal/table"
 )
@@ -403,6 +404,27 @@ func (st *Store) maybeEvict() {
 			st.evictions.Add(1)
 		}
 	}
+}
+
+// RegisterMetrics rehomes the store's gauges onto a metric registry
+// (conventionally the "store." sub-registry of the engine's root):
+// scrape-time functional gauges reading the same atomics Stats
+// snapshots, so GET /metrics and the /v1/stats shim can never drift.
+func (st *Store) RegisterMetrics(r *metric.Registry) {
+	r.GaugeFunc("bytes", "resident-byte estimate (base data + derived indexes, all tables)", func() int64 {
+		b := st.bytes.Load()
+		if b < 0 {
+			b = 0
+		}
+		return b
+	})
+	r.GaugeFunc("evictions", "derived-index evictions under byte-budget pressure", func() int64 {
+		return int64(st.evictions.Load())
+	})
+	r.GaugeFunc("tables", "catalog size", func() int64 { return int64(st.Len()) })
+	r.GaugeFunc("generation", "monotonic snapshot-install counter", func() int64 {
+		return int64(st.gen.Load())
+	})
 }
 
 // Stats is a scrape-ready snapshot of the store's gauges.

@@ -102,6 +102,12 @@ func Run(ctx context.Context, tgt Target, corpus *Corpus, ops []Op, opts Options
 	if errBefore == nil && errAfter == nil {
 		rep.attachEngineStats(before, after)
 	}
+	// A failed scrape leaves Server nil rather than failing the run;
+	// wtq-bench's -require-metrics flag turns that into a hard error
+	// where CI wants one.
+	if snap, err := tgt.Metrics(); err == nil {
+		rep.Server = snap
+	}
 	return rep, nil
 }
 

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ServerHistogram is one histogram scraped from a target's /metrics
+// exposition. Quantiles are derived from the cumulative buckets, so
+// they carry the bucket layout's relative error (<= 12.5% for the
+// log-linear layout internal/metric uses) but cover every request the
+// server handled — including ones this driver never sent. Values are
+// in the histogram's native unit (seconds for *_latency_seconds).
+type ServerHistogram struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// MetricsSnapshot is a parsed /metrics scrape: how many series the
+// target exposed and every histogram, keyed by its Prometheus series
+// name (e.g. "engine_explain_latency_seconds").
+type MetricsSnapshot struct {
+	Series     int                        `json:"series"`
+	Histograms map[string]ServerHistogram `json:"histograms"`
+}
+
+// promHist accumulates one histogram's samples during parsing.
+type promHist struct {
+	uppers []float64 // bucket upper bounds, as encountered
+	cum    []uint64  // cumulative counts, parallel to uppers
+	sum    float64
+	count  uint64
+}
+
+// ParsePrometheus reads Prometheus text exposition (version 0.0.4, the
+// format wtq-server's GET /metrics serves) and summarizes it. Only the
+// subset internal/metric emits is supported: unlabeled scalar samples
+// plus histogram _bucket{le="..."}/_sum/_count families. Unknown or
+// malformed lines fail the parse — a half-read scrape must not pass a
+// -require-metrics gate.
+func ParsePrometheus(r io.Reader) (*MetricsSnapshot, error) {
+	snap := &MetricsSnapshot{Histograms: make(map[string]ServerHistogram)}
+	hists := make(map[string]*promHist)
+	histOf := func(name string) *promHist {
+		h := hists[name]
+		if h == nil {
+			h = &promHist{}
+			hists[name] = h
+		}
+		return h
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("metrics scrape: malformed sample %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics scrape: bad value in %q: %w", line, err)
+		}
+		snap.Series++
+		switch {
+		case strings.Contains(key, "_bucket{"):
+			base, le, err := splitBucketKey(key)
+			if err != nil {
+				return nil, err
+			}
+			h := histOf(base)
+			h.uppers = append(h.uppers, le)
+			h.cum = append(h.cum, uint64(val))
+		case strings.HasSuffix(key, "_sum") && hists[strings.TrimSuffix(key, "_sum")] != nil:
+			histOf(strings.TrimSuffix(key, "_sum")).sum = val
+		case strings.HasSuffix(key, "_count") && hists[strings.TrimSuffix(key, "_count")] != nil:
+			histOf(strings.TrimSuffix(key, "_count")).count = uint64(val)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("metrics scrape: %w", err)
+	}
+	for name, h := range hists {
+		snap.Histograms[name] = h.summarize()
+	}
+	return snap, nil
+}
+
+// splitBucketKey splits `name_bucket{le="0.25"}` into ("name", 0.25).
+func splitBucketKey(key string) (string, float64, error) {
+	i := strings.Index(key, "_bucket{")
+	rest := key[i+len("_bucket{"):]
+	if !strings.HasPrefix(rest, `le="`) || !strings.HasSuffix(rest, `"}`) {
+		return "", 0, fmt.Errorf("metrics scrape: unsupported bucket labels in %q", key)
+	}
+	leStr := strings.TrimSuffix(strings.TrimPrefix(rest, `le="`), `"}`)
+	le, err := strconv.ParseFloat(leStr, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("metrics scrape: bad le bound in %q: %w", key, err)
+	}
+	return key[:i], le, nil
+}
+
+// summarize derives nearest-rank quantiles from cumulative buckets.
+func (h *promHist) summarize() ServerHistogram {
+	s := ServerHistogram{Count: h.count, Sum: h.sum}
+	if len(h.uppers) == 0 {
+		return s
+	}
+	// Exposition order is ascending, but sort defensively: quantile
+	// scanning below requires it.
+	idx := make([]int, len(h.uppers))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return h.uppers[idx[a]] < h.uppers[idx[b]] })
+	uppers := make([]float64, len(idx))
+	cum := make([]uint64, len(idx))
+	for i, j := range idx {
+		uppers[i], cum[i] = h.uppers[j], h.cum[j]
+	}
+	total := cum[len(cum)-1]
+	if s.Count == 0 {
+		s.Count = total
+	}
+	if total == 0 {
+		return s
+	}
+	s.Mean = s.Sum / float64(total)
+	quant := func(q float64) float64 {
+		rank := uint64(math.Ceil(q * float64(total)))
+		if rank == 0 {
+			rank = 1
+		}
+		for i, c := range cum {
+			if c >= rank {
+				if math.IsInf(uppers[i], 1) && i > 0 {
+					return uppers[i-1]
+				}
+				return uppers[i]
+			}
+		}
+		return uppers[len(uppers)-1]
+	}
+	s.P50 = quant(0.50)
+	s.P90 = quant(0.90)
+	s.P99 = quant(0.99)
+	s.Max = quant(1.0)
+	return s
+}

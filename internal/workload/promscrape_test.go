@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nlexplain/internal/engine"
+)
+
+const cannedExposition = `# HELP engine_executions uncached computations
+# TYPE engine_executions counter
+engine_executions 12
+# HELP engine_explain_latency_seconds explain latency
+# TYPE engine_explain_latency_seconds histogram
+engine_explain_latency_seconds_bucket{le="0.001"} 50
+engine_explain_latency_seconds_bucket{le="0.002"} 90
+engine_explain_latency_seconds_bucket{le="0.004"} 99
+engine_explain_latency_seconds_bucket{le="0.008"} 100
+engine_explain_latency_seconds_bucket{le="+Inf"} 100
+engine_explain_latency_seconds_sum 0.15
+engine_explain_latency_seconds_count 100
+# HELP store_bytes resident bytes
+# TYPE store_bytes gauge
+store_bytes 4096
+`
+
+func TestParsePrometheus(t *testing.T) {
+	snap, err := ParsePrometheus(strings.NewReader(cannedExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Series != 9 {
+		t.Errorf("series = %d, want 9", snap.Series)
+	}
+	h, ok := snap.Histograms["engine_explain_latency_seconds"]
+	if !ok {
+		t.Fatalf("histogram missing: %+v", snap.Histograms)
+	}
+	if h.Count != 100 || h.Sum != 0.15 {
+		t.Errorf("count=%d sum=%f", h.Count, h.Sum)
+	}
+	// Nearest-rank over the cumulative buckets: rank 50 lands in the
+	// first bucket, rank 90 in the second, rank 99 in the third.
+	if h.P50 != 0.001 || h.P90 != 0.002 || h.P99 != 0.004 {
+		t.Errorf("p50=%f p90=%f p99=%f", h.P50, h.P90, h.P99)
+	}
+	if h.Max != 0.008 {
+		t.Errorf("max = %f, want 0.008 (highest non-empty bucket)", h.Max)
+	}
+	if h.Mean != 0.15/100 {
+		t.Errorf("mean = %f", h.Mean)
+	}
+}
+
+func TestParsePrometheusRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"engine_x not_a_number\n",
+		"lonely_token\n",
+		`h_bucket{le="oops"} 3` + "\n",
+	} {
+		if _, err := ParsePrometheus(strings.NewReader(bad)); err == nil {
+			t.Errorf("no error for %q", bad)
+		}
+	}
+}
+
+// TestInProcMetrics checks the in-process target scrapes its own
+// engine registry: the full namespace is visible and the latency
+// histograms appear (empty until traffic runs).
+func TestInProcMetrics(t *testing.T) {
+	p := NewInProc(engine.Options{Workers: 2})
+	snap, err := p.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Series < 30 {
+		t.Errorf("series = %d, want >= 30", snap.Series)
+	}
+	if _, ok := snap.Histograms["engine_explain_latency_seconds"]; !ok {
+		t.Errorf("explain latency histogram missing: %v", snap.Histograms)
+	}
+}
+
+// TestHTTPTargetMetrics checks the HTTP target scrapes GET /metrics.
+func TestHTTPTargetMetrics(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte(cannedExposition))
+	}))
+	defer srv.Close()
+	h := NewHTTPTarget(srv.URL)
+	snap, err := h.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Series != 9 || snap.Histograms["engine_explain_latency_seconds"].Count != 100 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+// TestRunAttachesServerMetrics drives a tiny in-process run end to end
+// and checks the report carries a live scrape with recorded latency.
+func TestRunAttachesServerMetrics(t *testing.T) {
+	mix, ok := MixByName("explain")
+	if !ok {
+		t.Fatal("explain mix missing")
+	}
+	corpus, ops := Generate(1, mix, 16)
+	tgt := NewInProc(engine.Options{Workers: 2})
+	defer tgt.Close()
+	rep, err := Run(context.Background(), tgt, corpus, ops, Options{
+		Workers: 2, MaxOps: 16, OpTimeout: 10 * time.Second, Seed: 1, MixName: mix.Name,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Server == nil {
+		t.Fatal("report has no server metrics")
+	}
+	if rep.Server.Series < 30 {
+		t.Errorf("series = %d, want >= 30", rep.Server.Series)
+	}
+	if !strings.Contains(rep.Summary(), "server:") {
+		t.Errorf("summary missing server line:\n%s", rep.Summary())
+	}
+}

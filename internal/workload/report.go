@@ -7,6 +7,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"nlexplain/internal/engine"
@@ -77,6 +78,13 @@ type Report struct {
 	// Engine is the target engine's post-run counter snapshot — the
 	// exact schema wtq-server serves on GET /v1/stats.
 	Engine *engine.Stats `json:"engine,omitempty"`
+
+	// Server is the post-run /metrics scrape: series count plus
+	// server-side latency histograms. Unlike Latency above (measured at
+	// the client, exact quantiles over this run's ops), these come from
+	// the target's own log-linear histograms and cover every request the
+	// process has served.
+	Server *MetricsSnapshot `json:"server_metrics,omitempty"`
 }
 
 // summarize computes exact quantiles from a sample of durations.
@@ -205,7 +213,7 @@ func ReadReport(path string) (*Report, error) {
 // Summary renders the human-readable one-screen digest wtq-bench
 // prints after a run.
 func (r *Report) Summary() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"target=%s mix=%s seed=%d workers=%d ops=%d (%.1f ops/s over %.2fs)\n"+
 			"  latency ms: p50=%.3f p90=%.3f p99=%.3f max=%.3f mean=%.3f\n"+
 			"  ok=%d errors=%d sheds=%d timeouts=%d cached=%d cache_hit_ratio=%.3f\n"+
@@ -216,4 +224,15 @@ func (r *Report) Summary() string {
 		r.Counts[ClassOK], r.Errors, r.Sheds, r.Timeouts, r.Cached, r.CacheHitRatio,
 		r.AllocsPerOp, r.BytesPerOp,
 		r.OpSetSize, r.OpSetHash)
+	if r.Server != nil {
+		s += fmt.Sprintf("\n  server: %d series", r.Server.Series)
+		for _, name := range []string{"engine_explain_latency_seconds", "engine_answer_latency_seconds"} {
+			if h, ok := r.Server.Histograms[name]; ok && h.Count > 0 {
+				s += fmt.Sprintf("\n  %s ms: p50=%.3f p90=%.3f p99=%.3f max=%.3f n=%d",
+					strings.TrimSuffix(strings.TrimPrefix(name, "engine_"), "_latency_seconds"),
+					h.P50*1e3, h.P90*1e3, h.P99*1e3, h.Max*1e3, h.Count)
+			}
+		}
+	}
+	return s
 }

@@ -57,6 +57,10 @@ type Target interface {
 	// EngineStats snapshots the target engine's counters (the same
 	// schema wtq-server serves on /v1/stats).
 	EngineStats() (engine.Stats, error)
+	// Metrics scrapes the target's full metric registry (the Prometheus
+	// exposition wtq-server serves on GET /metrics) and summarizes it —
+	// series count plus server-side latency histograms.
+	Metrics() (*MetricsSnapshot, error)
 	// Close releases target resources.
 	Close() error
 }
@@ -117,6 +121,18 @@ func (p *InProc) RegisterTables(ts []*table.Table) error {
 
 // EngineStats implements Target.
 func (p *InProc) EngineStats() (engine.Stats, error) { return p.Engine.Stats(), nil }
+
+// Metrics implements Target: it renders the engine's registry through
+// the same Prometheus writer wtq-server uses for GET /metrics and
+// parses that, so in-process and HTTP runs report through one code
+// path and CI exercises the exposition format on every perf-gate run.
+func (p *InProc) Metrics() (*MetricsSnapshot, error) {
+	var buf bytes.Buffer
+	if err := p.Engine.Metrics().WritePrometheus(&buf); err != nil {
+		return nil, err
+	}
+	return ParsePrometheus(&buf)
+}
 
 // Close implements Target.
 func (p *InProc) Close() error { return nil }
@@ -316,6 +332,26 @@ func (h *HTTPTarget) EngineStats() (engine.Stats, error) {
 		return s, fmt.Errorf("GET /v1/stats: status %d", resp.StatusCode)
 	}
 	return s, json.NewDecoder(resp.Body).Decode(&s)
+}
+
+// Metrics implements Target: it scrapes GET /metrics and parses the
+// Prometheus text exposition into a summary.
+func (h *HTTPTarget) Metrics() (*MetricsSnapshot, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.Base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := h.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	return ParsePrometheus(resp.Body)
 }
 
 // classifyStatus maps an HTTP status to an outcome class, inverting

@@ -181,8 +181,8 @@ func TestChurnMixSnapshotIsolation(t *testing.T) {
 		t.Fatalf("store generation not recorded in engine stats: %+v", stats)
 	}
 	// Churn tables are dropped on completion: only the corpus remains.
-	if stats.StoreTables != len(corpus.Tables) {
-		t.Fatalf("StoreTables = %d after churn, want %d (leaked churn tables)", stats.StoreTables, len(corpus.Tables))
+	if stats.Tables != len(corpus.Tables) {
+		t.Fatalf("Tables = %d after churn, want %d (leaked churn tables)", stats.Tables, len(corpus.Tables))
 	}
 }
 

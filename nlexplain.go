@@ -207,6 +207,9 @@ type (
 	ExplainBatchResult = engine.BatchResult
 	// TableInfo describes a table registered with an Engine.
 	TableInfo = engine.TableInfo
+	// TableDetail is the full table resource: TableInfo plus schema and
+	// resident bytes, as served by GET /v1/tables/{name}.
+	TableDetail = engine.TableDetail
 	// RankedCandidate is one semantic-parse candidate on the wire.
 	RankedCandidate = engine.RankedCandidate
 )
