@@ -19,7 +19,17 @@ PERF_REPORT   = bench_report.json
 PERF_SUMMARY  = perf_summary.txt
 PERF_FLAGS    = -max-p50-ratio 4 -max-p99-ratio 4 -min-throughput-ratio 0.2 -max-allocs-ratio 1.5 -summary $(PERF_SUMMARY)
 
-.PHONY: all build test vet fmt cover bench baseline perf-gate metrics-lint store-stress serve ci
+# The bigtable leg of the perf gate: scan-heavy traffic over a pinned
+# 100K-row table, gated on rows/sec (scan throughput) in addition to
+# the usual latency/throughput tolerances. The rows/sec floor is a
+# generous 0.5x for the same noisy-runner reasons as above.
+PERF_BASELINE_BIG = bench_baseline_big.json
+PERF_REPORT_BIG   = bench_report_big.json
+PERF_SUMMARY_BIG  = perf_summary_big.txt
+BIG_ROWS          = 100000
+PERF_FLAGS_BIG    = -max-p50-ratio 4 -max-p99-ratio 4 -min-throughput-ratio 0.2 -min-rows-ratio 0.5 -summary $(PERF_SUMMARY_BIG)
+
+.PHONY: all build test vet fmt cover bench baseline baseline-big perf-gate metrics-lint store-stress bigtable-stress speedup serve ci
 
 all: build
 
@@ -54,11 +64,14 @@ cover:
 # enough for CI while still executing each pipeline end to end, and
 # -benchmem records B/op + allocs/op for every benchmark (the
 # allocation columns of BenchmarkPlanExec/BenchmarkPlanExecSQL/
-# BenchmarkStoreSnapshot are the hot-path budget). The output lands in
-# bench.out (gitignored) so CI can upload it as an artifact and the
-# perf trajectory stays recorded.
+# BenchmarkStoreSnapshot are the hot-path budget). The morsel-executor
+# benchmarks then rerun at -cpu 1,4 so the serial-vs-parallel cost of
+# the plan kernels is on record for both a starved and a multicore
+# box. The output lands in bench.out (gitignored) so CI can upload it
+# as an artifact and the perf trajectory stays recorded.
 bench:
 	@$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./... > bench.out 2>&1 || { cat bench.out; exit 1; }
+	@$(GO) test -run='^$$' -bench='BenchmarkBigTable' -benchtime=1x -benchmem -cpu 1,4 ./internal/plan/ >> bench.out 2>&1 || { cat bench.out; exit 1; }
 	@cat bench.out
 	@echo "benchstat-friendly output written to $$(pwd)/bench.out"
 
@@ -68,19 +81,47 @@ bench:
 store-stress:
 	$(GO) test -race -run Store -count=2 ./internal/store/... ./internal/engine/...
 
+# bigtable-stress is the data-race gate for the morsel-parallel
+# executor: the forced-parallel differential suites, the NaN/tie and
+# cancellation tests, and the engine-level hammer (8 query goroutines
+# racing a store mutator over a pinned snapshot) all rerun under the
+# race detector.
+bigtable-stress:
+	$(GO) test -race -run BigTable -count=1 ./internal/plan/... ./internal/engine/...
+	$(GO) test -race -run 'TestPlanDifferentialParallel|TestSQLPlanDifferentialParallel' -count=1 ./internal/dcs/... ./internal/minisql/...
+
 # baseline regenerates the checked-in perf-gate baseline with the
 # CI-canonical workload (seed 1, mixed traffic, op-count bound).
 baseline:
 	$(GO) run ./cmd/wtq-bench baseline -out $(PERF_BASELINE)
 
+# baseline-big regenerates the bigtable-leg baseline: scan-heavy
+# answer-only traffic over the pinned $(BIG_ROWS)-row table.
+baseline-big:
+	$(GO) run ./cmd/wtq-bench baseline -mix bigtable -big-rows $(BIG_ROWS) -ops 200 -out $(PERF_BASELINE_BIG)
+
 # perf-gate reproduces the CI job locally: run the canonical workload,
 # then diff the fresh report against the checked-in baseline.
 # -require-metrics makes the run fail unless the target's /metrics
 # scrape succeeds and is non-empty, so the observability surface is
-# load-tested on every gate run.
+# load-tested on every gate run. The second leg reruns the gate with
+# the bigtable mix, whose compare additionally enforces the rows/sec
+# scan-throughput floor, and the speedup step appends the measured
+# serial-vs-parallel ratios (with GOMAXPROCS disclosed) to the summary
+# artifact — it hard-fails if parallel answers ever diverge from
+# serial, so result identity is load-tested on every gate run too.
 perf-gate:
 	$(GO) run ./cmd/wtq-bench run -seed 1 -mix mixed -ops 600 -workers 4 -require-metrics -out $(PERF_REPORT)
 	$(GO) run ./cmd/wtq-bench compare $(PERF_FLAGS) $(PERF_BASELINE) $(PERF_REPORT)
+	$(GO) run ./cmd/wtq-bench run -seed 1 -mix bigtable -big-rows $(BIG_ROWS) -ops 200 -workers 4 -out $(PERF_REPORT_BIG)
+	$(GO) run ./cmd/wtq-bench compare $(PERF_FLAGS_BIG) $(PERF_BASELINE_BIG) $(PERF_REPORT_BIG)
+	$(GO) run ./cmd/wtq-bench speedup -rows 1000000 -summary $(PERF_SUMMARY)
+
+# speedup runs the big-table query families serial and morsel-parallel
+# back to back, verifies bitwise-identical results, and prints the
+# per-family speedup with GOMAXPROCS disclosed.
+speedup:
+	$(GO) run ./cmd/wtq-bench speedup -rows 1000000
 
 # metrics-lint verifies the metric namespace: every registered series
 # name well-formed, collision-free and matching the canonical list in
@@ -92,4 +133,4 @@ metrics-lint:
 serve:
 	$(GO) run ./cmd/wtq-server -demo
 
-ci: build vet fmt cover bench metrics-lint perf-gate
+ci: build vet fmt cover bench metrics-lint bigtable-stress perf-gate

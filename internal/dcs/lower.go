@@ -1,6 +1,8 @@
 package dcs
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"nlexplain/internal/plan"
@@ -36,12 +38,27 @@ func Compile(e Expr, t *table.Table) (*Compiled, error) {
 // converts the plan value back into a lambda DCS Result. With an
 // inactive tracer the Result carries no witness cells.
 func (c *Compiled) ExecuteWith(t *table.Table, tr plan.Tracer) (*Result, error) {
-	// The plan value lives on the stack; RunInto detaches the execution
-	// arena's buffers into it, and resultFromVal moves the slices into
-	// the caller-owned Result — one allocation end to end.
+	return c.ExecuteWithCtx(nil, t, tr)
+}
+
+// ExecuteWithCtx is ExecuteWith with cooperative cancellation: the
+// executor polls ctx at morsel boundaries (and every few thousand rows
+// on serial scans), so a caller that gave up does not pay for a full
+// million-row scan. A nil ctx disables the checks.
+func (c *Compiled) ExecuteWithCtx(ctx context.Context, t *table.Table, tr plan.Tracer) (*Result, error) {
+	// The plan value lives on the stack; RunIntoCtx detaches the
+	// execution arena's buffers into it, and resultFromVal moves the
+	// slices into the caller-owned Result — one allocation end to end.
 	var v plan.Val
-	err := plan.RunInto(&v, c.Root, t, tr)
+	err := plan.RunIntoCtx(ctx, &v, c.Root, t, tr)
 	if err != nil {
+		// Cancellation is the caller abandoning the run, not a query
+		// error: surface it as-is, before the interpreter fallback —
+		// re-running a scan the caller already gave up on would defeat
+		// the point of polling ctx in the first place.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
 		// The plan error names the operation ("min over an empty set")
 		// but not the failing sub-expression. Dynamic errors are rare
 		// and terminal, so off the hot path re-run the reference
@@ -60,6 +77,11 @@ func (c *Compiled) ExecuteWith(t *table.Table, tr plan.Tracer) (*Result, error) 
 // store mutation that lands mid-flight.
 func (c *Compiled) ExecuteSource(src plan.Source, tr plan.Tracer) (*Result, error) {
 	return c.ExecuteWith(src.PlanTable(), tr)
+}
+
+// ExecuteSourceCtx is ExecuteWithCtx through a snapshot handle.
+func (c *Compiled) ExecuteSourceCtx(ctx context.Context, src plan.Source, tr plan.Tracer) (*Result, error) {
+	return c.ExecuteWithCtx(ctx, src.PlanTable(), tr)
 }
 
 // Lower translates a checked expression into an unoptimized plan tree.

@@ -1,6 +1,8 @@
 package dcs
 
 import (
+	"math/rand"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -288,6 +290,78 @@ func TestResultRowsDoNotAliasTableIndex(t *testing.T) {
 	}
 	if len(second.Records) != 2 || second.Records[0] != 0 || second.Records[1] != 2 {
 		t.Fatalf("records = %v after mutating a previous result; the KB index was aliased", second.Records)
+	}
+}
+
+// TestPlanDifferentialParallel runs the whole differential corpus a
+// third way: through the plan path with the morsel-parallel executor
+// forced on (8 workers, threshold 1, so even fixture-sized inputs take
+// the parallel kernels). Answers, witness cells and error texts must
+// match the serial plan path exactly.
+func TestPlanDifferentialParallel(t *testing.T) {
+	prevW := plan.SetExecWorkers(8)
+	prevT := plan.SetParallelThreshold(1)
+	defer func() {
+		plan.SetExecWorkers(prevW)
+		plan.SetParallelThreshold(prevT)
+	}()
+	for _, tc := range diffCorpus {
+		tc := tc
+		t.Run(tc.table+"/"+tc.src, func(t *testing.T) {
+			tab := fixtureByName(t, tc.table)
+			e, err := Parse(tc.src)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tc.src, err)
+			}
+			plan.SetExecWorkers(1)
+			want, werr := Execute(e, tab)
+			plan.SetExecWorkers(8)
+			got, gerr := Execute(e, tab)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("error divergence: serial=%v parallel=%v", werr, gerr)
+			}
+			if werr != nil {
+				if werr.Error() != gerr.Error() {
+					t.Fatalf("error text diverged:\nserial:   %v\nparallel: %v", werr, gerr)
+				}
+				return
+			}
+			assertSameResult(t, want, got, true)
+		})
+	}
+}
+
+// BenchmarkCompiledBigNe times a compiled count-over-inequality on a
+// 2^20-row table through the full dcs execution path (with witness
+// cells), serial vs morsel-parallel — the query shape the bigtable
+// workload's filter family stresses.
+func BenchmarkCompiledBigNe(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	nations := []string{"Greece", "France", "China", "UK", "Brazil", "Fiji"}
+	rows := make([][]string, 1<<20)
+	for i := range rows {
+		rows[i] = []string{nations[rng.Intn(len(nations))], strconv.Itoa(rng.Intn(1_000_000))}
+	}
+	tab := table.MustNew("big", []string{"Nation", "Games"}, rows)
+	expr := &Aggregate{Fn: Count, Arg: &Compare{Column: "Games", Op: Ne, V: table.NumberValue(500_000)}}
+	c, err := Compile(expr, tab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 8}} {
+		b.Run(mode.name, func(b *testing.B) {
+			prev := plan.SetExecWorkers(mode.workers)
+			defer plan.SetExecWorkers(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.ExecuteWith(tab, plan.Capture{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -17,7 +17,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -60,6 +62,12 @@ type Options struct {
 	// over it, cold tables' derived indexes are evicted (base data
 	// never is). 0 means unlimited.
 	StoreByteBudget int64
+	// ExecWorkers caps the morsel-parallel executor's workers per
+	// query (see internal/plan). The setting is process-global — the
+	// executor's worker pool is shared across engines. 0 leaves the
+	// current setting untouched (default GOMAXPROCS); 1 forces serial
+	// execution.
+	ExecWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -130,6 +138,9 @@ type Engine struct {
 // New builds an Engine with the given options (zero value = defaults).
 func New(opts Options) *Engine {
 	opts = opts.withDefaults()
+	if opts.ExecWorkers > 0 {
+		plan.SetExecWorkers(opts.ExecWorkers)
+	}
 	e := &Engine{
 		opts: opts,
 		store: store.New(store.Options{
@@ -390,8 +401,11 @@ func (e *Engine) compiledPlan(snap *store.Snapshot, q dcs.Expr, query string) (*
 // compute runs the uncached pipeline: parse through the AST cache,
 // compile through the plan cache, then the shared export pipeline
 // (execute, provenance+highlight, sample, utter, translate), then the
-// engine's extra provenance projection.
-func (e *Engine) compute(snap *store.Snapshot, tableName, query string) (*Explanation, error) {
+// engine's extra provenance projection. The leader's request ctx is
+// threaded into plan execution, so a caller that gave up stops the
+// scan at the next morsel/row-batch boundary instead of burning it
+// to completion.
+func (e *Engine) compute(ctx context.Context, snap *store.Snapshot, tableName, query string) (*Explanation, error) {
 	start := time.Now()
 	q, err := e.parseQuery(query)
 	if err != nil {
@@ -405,7 +419,16 @@ func (e *Engine) compute(snap *store.Snapshot, tableName, query string) (*Explan
 	// export pipeline (execute, provenance, sample) reads this one
 	// pinned state.
 	tab := snap.PlanTable()
-	doc, h, err := export.BuildCompiled(c, tab, e.opts.SampleThreshold)
+	var (
+		doc *export.ExplanationJSON
+		h   *provenance.Highlights
+	)
+	// Morsel workers inherit these labels (goroutines inherit their
+	// creator's pprof labels), so -pprof profiles attribute CPU to
+	// query families even for fanned-out scans.
+	pprof.Do(ctx, execLabels(c, tab, tableName), func(ctx context.Context) {
+		doc, h, err = export.BuildCompiledCtx(ctx, c, tab, e.opts.SampleThreshold)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("explaining %s on %s: %w", q, tableName, err)
 	}
@@ -422,6 +445,23 @@ func (e *Engine) compute(snap *store.Snapshot, tableName, query string) (*Explan
 	e.met.executions.Inc()
 	e.met.explainLatency.RecordDuration(time.Since(start))
 	return ex, nil
+}
+
+// execLabels builds the pprof label set attached around plan
+// execution: the plan's query family, the table name, and whether the
+// table is large enough for the morsel-parallel path.
+func execLabels(c *dcs.Compiled, tab *table.Table, tableName string) pprof.LabelSet {
+	return pprof.Labels(
+		"query_family", plan.FamilyOf(c.Root),
+		"table", tableName,
+		"parallel", strconv.FormatBool(plan.ParallelEligible(tab.NumRows())),
+	)
+}
+
+// isCtxErr reports whether err is a context cancellation or deadline
+// expiry (possibly wrapped).
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // withDefaultDeadline bounds the caller's context by the engine's
@@ -480,33 +520,35 @@ func (e *Engine) explain(ctx context.Context, tableName, query string) (*Explana
 		return nil, false, err
 	}
 
-	// The dcs executor is not context-aware, so the pipeline runs in
-	// its own goroutine and the deadline is enforced here; an abandoned
-	// computation still completes and warms the cache for the retry.
+	// The pipeline runs in its own goroutine under the leader's request
+	// context: the executor polls it, so an abandoned scan stops at the
+	// next morsel/row-batch boundary instead of running to completion.
 	// Concurrent requests for the same key join one in-flight
-	// computation rather than duplicating it.
-	call, leader := e.joinInflight(key)
-	if leader {
-		e.startPipeline(key, call,
-			func() (any, error) {
-				ex, err := e.compute(snap, tableName, query)
-				if err != nil {
-					return nil, err
-				}
-				return ex, nil
-			},
-			func(v any) { e.results.put(key, v) })
-	}
-	select {
-	case <-ctx.Done():
-		e.countCtxErr(ctx.Err())
-		return nil, false, ctx.Err()
-	case <-call.done:
-		if call.err != nil {
-			e.met.errors.Inc()
-			return nil, false, call.err
+	// computation rather than duplicating it; a follower whose own
+	// budget is still live when the leader's context dies retakes the
+	// key and becomes the new leader.
+	for {
+		call, leader := e.joinInflight(key)
+		if leader {
+			e.startPipeline(key, call,
+				func() (any, error) { return e.compute(ctx, snap, tableName, query) },
+				func(v any) { e.results.put(key, v) })
 		}
-		return call.val.(*Explanation), false, nil
+		select {
+		case <-ctx.Done():
+			e.countCtxErr(ctx.Err())
+			return nil, false, ctx.Err()
+		case <-call.done:
+			if call.err != nil {
+				if !leader && isCtxErr(call.err) && ctx.Err() == nil {
+					continue
+				}
+				e.met.errors.Inc()
+				e.countCtxErr(call.err)
+				return nil, false, call.err
+			}
+			return call.val.(*Explanation), false, nil
+		}
 	}
 }
 
@@ -546,28 +588,38 @@ func (e *Engine) ExplainAnswer(ctx context.Context, tableName, query string) (*A
 		e.countCtxErr(err)
 		return nil, false, err
 	}
-	call, leader := e.joinInflight(key)
-	if leader {
-		e.startPipeline(key, call,
-			func() (any, error) { return e.computeAnswer(snap, tableName, query) },
-			func(v any) { e.answers.put(key, v) })
-	}
-	select {
-	case <-ctx.Done():
-		e.countCtxErr(ctx.Err())
-		return nil, false, ctx.Err()
-	case <-call.done:
-		if call.err != nil {
-			e.met.errors.Inc()
-			return nil, false, call.err
+	for {
+		call, leader := e.joinInflight(key)
+		if leader {
+			e.startPipeline(key, call,
+				func() (any, error) { return e.computeAnswer(ctx, snap, tableName, query) },
+				func(v any) { e.answers.put(key, v) })
 		}
-		return call.val.(*Answer), false, nil
+		select {
+		case <-ctx.Done():
+			e.countCtxErr(ctx.Err())
+			return nil, false, ctx.Err()
+		case <-call.done:
+			if call.err != nil {
+				// A ctx-class failure means the leader's caller gave up,
+				// not that the query is bad; a follower with remaining
+				// budget retakes the key and recomputes under its own ctx.
+				if !leader && isCtxErr(call.err) && ctx.Err() == nil {
+					continue
+				}
+				e.met.errors.Inc()
+				e.countCtxErr(call.err)
+				return nil, false, call.err
+			}
+			return call.val.(*Answer), false, nil
+		}
 	}
 }
 
 // computeAnswer runs the uncached answer-only path: shared AST and
-// plan caches, then execution with witness capture off.
-func (e *Engine) computeAnswer(snap *store.Snapshot, tableName, query string) (*Answer, error) {
+// plan caches, then execution with witness capture off, under the
+// leader's request ctx and pprof execution labels.
+func (e *Engine) computeAnswer(ctx context.Context, snap *store.Snapshot, tableName, query string) (*Answer, error) {
 	start := time.Now()
 	q, err := e.parseQuery(query)
 	if err != nil {
@@ -577,7 +629,10 @@ func (e *Engine) computeAnswer(snap *store.Snapshot, tableName, query string) (*
 	if err != nil {
 		return nil, fmt.Errorf("compiling %s on %s: %w", q, tableName, err)
 	}
-	res, err := c.ExecuteSource(snap, plan.Noop{})
+	var res *dcs.Result
+	pprof.Do(ctx, execLabels(c, snap.PlanTable(), tableName), func(ctx context.Context) {
+		res, err = c.ExecuteSourceCtx(ctx, snap, plan.Noop{})
+	})
 	if err != nil {
 		return nil, fmt.Errorf("answering %s on %s: %w", q, tableName, err)
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 )
 
@@ -16,7 +17,7 @@ func TestPlanCacheHitMiss(t *testing.T) {
 	}
 	const q = "max(R[Year].Country.Greece)"
 
-	if _, err := e.compute(entry, "olympics", q); err != nil {
+	if _, err := e.compute(context.Background(), entry, "olympics", q); err != nil {
 		t.Fatal(err)
 	}
 	s := e.Stats()
@@ -27,7 +28,7 @@ func TestPlanCacheHitMiss(t *testing.T) {
 		t.Fatalf("plan cache size = %d, want 1", s.PlanCacheSize)
 	}
 
-	if _, err := e.compute(entry, "olympics", q); err != nil {
+	if _, err := e.compute(context.Background(), entry, "olympics", q); err != nil {
 		t.Fatal(err)
 	}
 	s = e.Stats()
@@ -43,7 +44,7 @@ func TestPlanCacheKeyedByVersion(t *testing.T) {
 	e := newTestEngine(t)
 	entry, _ := e.store.Get("olympics")
 	const q = "count(Country.Greece)"
-	if _, err := e.compute(entry, "olympics", q); err != nil {
+	if _, err := e.compute(context.Background(), entry, "olympics", q); err != nil {
 		t.Fatal(err)
 	}
 
@@ -56,7 +57,7 @@ func TestPlanCacheKeyedByVersion(t *testing.T) {
 	if entry2.Version() == entry.Version() {
 		t.Fatal("version unchanged after re-register")
 	}
-	if _, err := e.compute(entry2, "olympics", q); err != nil {
+	if _, err := e.compute(context.Background(), entry2, "olympics", q); err != nil {
 		t.Fatal(err)
 	}
 	s := e.Stats()

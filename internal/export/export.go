@@ -5,6 +5,7 @@
 package export
 
 import (
+	"context"
 	"encoding/json"
 
 	"nlexplain/internal/dcs"
@@ -57,11 +58,17 @@ func Build(q dcs.Expr, t *table.Table, threshold int) (*ExplanationJSON, *proven
 // result string and the highlights both come from the single traced
 // execution the provenance pipeline performs.
 func BuildCompiled(c *dcs.Compiled, t *table.Table, threshold int) (*ExplanationJSON, *provenance.Highlights, error) {
+	return BuildCompiledCtx(nil, c, t, threshold)
+}
+
+// BuildCompiledCtx is BuildCompiled with cooperative cancellation
+// threaded into the traced execution; a nil ctx disables the checks.
+func BuildCompiledCtx(ctx context.Context, c *dcs.Compiled, t *table.Table, threshold int) (*ExplanationJSON, *provenance.Highlights, error) {
 	q := c.Expr
 	if threshold <= 0 {
 		threshold = maxInlineRows
 	}
-	h, res, err := provenance.HighlightCompiled(c, t)
+	h, res, err := provenance.HighlightCompiledCtx(ctx, c, t)
 	if err != nil {
 		return nil, nil, err
 	}

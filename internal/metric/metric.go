@@ -139,6 +139,23 @@ func NewGaugeFunc(help string, fn func() int64) *GaugeFunc {
 // Value evaluates the gauge.
 func (g *GaugeFunc) Value() int64 { return g.fn() }
 
+// CounterFunc is a counter whose value is read at scrape time — for
+// monotonic counts owned elsewhere (the plan executor's process-global
+// morsel and run counters). The function must be safe for concurrent
+// use, cheap, and monotonically non-decreasing.
+type CounterFunc struct {
+	meta
+	fn func() uint64
+}
+
+// NewCounterFunc builds an unregistered functional counter.
+func NewCounterFunc(help string, fn func() uint64) *CounterFunc {
+	return &CounterFunc{meta: meta{help: help, kind: KindCounter}, fn: fn}
+}
+
+// Count evaluates the counter.
+func (c *CounterFunc) Count() uint64 { return c.fn() }
+
 // Rate is a cumulative event count plus a derived mean per-second rate
 // since the metric was created. Prometheus consumers should ignore
 // PerSec and apply rate() to the exposed cumulative count; PerSec

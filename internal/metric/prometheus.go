@@ -46,6 +46,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			writeSample(bw, name, "", strconv.FormatInt(v.Value(), 10))
 		case *GaugeFunc:
 			writeSample(bw, name, "", strconv.FormatInt(v.Value(), 10))
+		case *CounterFunc:
+			writeSample(bw, name, "", strconv.FormatUint(v.Count(), 10))
 		case *Rate:
 			writeSample(bw, name, "", strconv.FormatUint(v.Count(), 10))
 		case *Histogram:

@@ -92,6 +92,8 @@ func (r *Registry) Register(name string, m Metric) {
 		v.meta.name = full
 	case *GaugeFunc:
 		v.meta.name = full
+	case *CounterFunc:
+		v.meta.name = full
 	case *Rate:
 		v.meta.name = full
 	case *Histogram:
@@ -125,6 +127,13 @@ func (r *Registry) GaugeFunc(name, help string, fn func() int64) *GaugeFunc {
 	g := NewGaugeFunc(help, fn)
 	r.Register(name, g)
 	return g
+}
+
+// CounterFunc registers a scrape-time functional counter.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) *CounterFunc {
+	c := NewCounterFunc(help, fn)
+	r.Register(name, c)
+	return c
 }
 
 // Rate registers and returns a new rate.
@@ -209,6 +218,8 @@ func (r *Registry) Snapshot() map[string]any {
 			out[m.Name()] = v.Value()
 		case *GaugeFunc:
 			out[m.Name()] = v.Value()
+		case *CounterFunc:
+			out[m.Name()] = v.Count()
 		case *Rate:
 			out[m.Name()] = map[string]any{"count": v.Count(), "per_sec": v.PerSec()}
 		case *Histogram:

@@ -3,6 +3,7 @@ package minisql
 import (
 	"testing"
 
+	"nlexplain/internal/plan"
 	"nlexplain/internal/table"
 )
 
@@ -63,6 +64,44 @@ func TestSQLPlanDifferential(t *testing.T) {
 				t.Fatalf("error divergence: interpreter=%v plan=%v", werr, gerr)
 			}
 			if werr != nil {
+				return
+			}
+			assertSameRows(t, want, got)
+		})
+	}
+}
+
+// TestSQLPlanDifferentialParallel runs the corpus through the plan
+// path twice — serial and with the morsel-parallel executor forced on
+// (8 workers, threshold 1) — and requires identical rows, columns and
+// source bookkeeping. GROUP BY, DISTINCT and projection merges must be
+// order-identical, not just set-identical.
+func TestSQLPlanDifferentialParallel(t *testing.T) {
+	prevW := plan.SetExecWorkers(8)
+	prevT := plan.SetParallelThreshold(1)
+	defer func() {
+		plan.SetExecWorkers(prevW)
+		plan.SetParallelThreshold(prevT)
+	}()
+	tab := olympics(t)
+	for _, src := range sqlDiffCorpus {
+		src := src
+		t.Run(src, func(t *testing.T) {
+			q, err := Parse(src)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", src, err)
+			}
+			plan.SetExecWorkers(1)
+			want, werr := Exec(q, tab)
+			plan.SetExecWorkers(8)
+			got, gerr := Exec(q, tab)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("error divergence: serial=%v parallel=%v", werr, gerr)
+			}
+			if werr != nil {
+				if werr.Error() != gerr.Error() {
+					t.Fatalf("error text diverged:\nserial:   %v\nparallel: %v", werr, gerr)
+				}
 				return
 			}
 			assertSameRows(t, want, got)

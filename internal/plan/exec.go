@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -56,14 +57,28 @@ func RunSource(n Node, src Source, tr Tracer) (*Val, error) {
 // (the query front-ends put it on the stack and copy the fields into
 // their own result types). *out is overwritten entirely.
 func RunInto(out *Val, n Node, t *table.Table, tr Tracer) error {
+	return RunIntoCtx(nil, out, n, t, tr)
+}
+
+// RunIntoCtx is RunInto with cooperative cancellation: the executor
+// polls ctx at morsel boundaries on the parallel path and every
+// ctxCheckRows rows on serial scans, returning ctx.Err() once it
+// fires — so a caller whose deadline expired never burns a full
+// million-row scan. A nil ctx disables the checks.
+func RunIntoCtx(ctx context.Context, out *Val, n Node, t *table.Table, tr Tracer) error {
 	if tr == nil {
 		tr = Noop{}
 	}
 	ar := getArena(t.NumRows())
 	defer ar.release()
 	ex := &ar.ex
-	ex.t, ex.tr, ex.trace, ex.ar = t, tr, tr.Active(), ar
+	ex.t, ex.tr, ex.trace, ex.ar, ex.ctx = t, tr, tr.Active(), ar, ctx
 	v, err := ex.run(n)
+	if ex.usedParallel {
+		statParallelRuns.Add(1)
+	} else {
+		statSerialRuns.Add(1)
+	}
 	if err != nil {
 		return err
 	}
@@ -124,6 +139,13 @@ type executor struct {
 	tr    Tracer
 	trace bool
 	ar    *arena
+
+	// ctx, when non-nil, is polled by long scans (serial ticks and
+	// morsel boundaries) so abandoned executions stop early.
+	ctx context.Context
+	// usedParallel records whether any kernel took the morsel path,
+	// feeding the parallel/serial run counters.
+	usedParallel bool
 }
 
 func (ex *executor) run(n Node) (*Val, error) {
@@ -271,8 +293,26 @@ func (ex *executor) compare(x *Compare) (*Val, error) {
 			// Key identity and Value.Equal disagree here (NaN literal,
 			// or Unicode case folds outside ASCII): scan with the
 			// interpreter's Equal semantics.
+			if ex.goParallel(t.NumRows()) {
+				pr, err := ex.parallelRows(t.NumRows(), func(dst []int, lo, hi int) []int {
+					for r := lo; r < hi; r++ {
+						if t.Value(r, x.Col).Equal(x.V) == want {
+							dst = append(dst, r)
+						}
+					}
+					return dst
+				})
+				if err != nil {
+					return nil, err
+				}
+				rows = pr
+				break
+			}
 			buf := ex.ar.ints.get(t.NumRows())
 			for r := 0; r < t.NumRows(); r++ {
+				if err := ex.pollCtx(r); err != nil {
+					return nil, err
+				}
 				if t.Value(r, x.Col).Equal(x.V) == want {
 					buf = append(buf, r)
 				}
@@ -287,9 +327,30 @@ func (ex *executor) compare(x *Compare) (*Val, error) {
 		// Entity inequality: complement of the KB posting list, walked
 		// with two pointers so no per-row string comparison happens.
 		eq := t.RowsForKey(x.Col, x.canonicalKey())
+		if ex.goParallel(t.NumRows()) {
+			pr, err := ex.parallelRows(t.NumRows(), func(dst []int, lo, hi int) []int {
+				j := sort.SearchInts(eq, lo)
+				for r := lo; r < hi; r++ {
+					if j < len(eq) && eq[j] == r {
+						j++
+						continue
+					}
+					dst = append(dst, r)
+				}
+				return dst
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = pr
+			break
+		}
 		buf := ex.ar.ints.get(t.NumRows() - len(eq))
 		j := 0
 		for r := 0; r < t.NumRows(); r++ {
+			if err := ex.pollCtx(r); err != nil {
+				return nil, err
+			}
 			if j < len(eq) && eq[j] == r {
 				j++
 				continue
@@ -307,10 +368,33 @@ func (ex *executor) compare(x *Compare) (*Val, error) {
 		// A NaN literal breaks binary search (every ordering predicate
 		// is false on NaN); fall back to the Value.Compare scan, which
 		// reproduces the interpreter's NaN behaviour.
-		if t.ColumnIndexable(x.Col) && !math.IsNaN(lit) {
+		switch {
+		case t.ColumnIndexable(x.Col) && !math.IsNaN(lit):
+			// Binary search on the cached sorted index + bitset replay is
+			// sublinear in the table size — it beats any parallel direct
+			// scan at every scale, so indexable ranges never take the
+			// morsel path.
 			rows = ex.rangeFromIndex(x.Col, x.Cmp, lit)
-		} else {
-			rows = ex.rangeScan(ex.ar.ints.get(t.NumRows()), x.Col, x.Cmp, x.V)
+		case ex.goParallel(t.NumRows()):
+			pr, err := ex.parallelRows(t.NumRows(), func(dst []int, lo, hi int) []int {
+				for r := lo; r < hi; r++ {
+					v := t.Value(r, x.Col)
+					if v.IsNumeric() && cmpMatch(x.Cmp, v.Compare(x.V)) {
+						dst = append(dst, r)
+					}
+				}
+				return dst
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = pr
+		default:
+			sr, err := ex.rangeScan(ex.ar.ints.get(t.NumRows()), x.Col, x.Cmp, x.V)
+			if err != nil {
+				return nil, err
+			}
+			rows = sr
 		}
 	}
 	v := ex.ar.val(RowsKind)
@@ -349,30 +433,36 @@ func (ex *executor) rangeFromIndex(col int, op string, lit float64) []int {
 // rangeScan is the fallback comparison scan for columns the index
 // cannot represent (NaN cells), mirroring Value.Compare semantics.
 // Matches are appended onto dst.
-func (ex *executor) rangeScan(dst []int, col int, op string, lit table.Value) []int {
+func (ex *executor) rangeScan(dst []int, col int, op string, lit table.Value) ([]int, error) {
 	t := ex.t
 	for r := 0; r < t.NumRows(); r++ {
+		if err := ex.pollCtx(r); err != nil {
+			return nil, err
+		}
 		v := t.Value(r, col)
 		if !v.IsNumeric() {
 			continue
 		}
-		cmp := v.Compare(lit)
-		ok := false
-		switch op {
-		case "<":
-			ok = cmp < 0
-		case "<=":
-			ok = cmp <= 0
-		case ">":
-			ok = cmp > 0
-		case ">=":
-			ok = cmp >= 0
-		}
-		if ok {
+		if cmpMatch(op, v.Compare(lit)) {
 			dst = append(dst, r)
 		}
 	}
-	return dst
+	return dst, nil
+}
+
+// cmpMatch applies a range operator to a three-way comparison result.
+func cmpMatch(op string, cmp int) bool {
+	switch op {
+	case "<":
+		return cmp < 0
+	case "<=":
+		return cmp <= 0
+	case ">":
+		return cmp > 0
+	case ">=":
+		return cmp >= 0
+	}
+	return false
 }
 
 func (ex *executor) filter(x *Filter) (*Val, error) {
@@ -384,14 +474,28 @@ func (ex *executor) filter(x *Filter) (*Val, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := ex.ar.ints.get(len(in.Rows))
-	for _, r := range in.Rows {
-		ok, err := pred(r)
+	var rows []int
+	if ex.goParallel(len(in.Rows)) && !predHasFunc(x.Pred) {
+		// Compiled non-FuncPred closures are pure column reads, safe to
+		// evaluate from worker goroutines; opaque FuncPreds may run
+		// nested executions and stay serial.
+		rows, err = ex.parallelFilter(in.Rows, pred)
 		if err != nil {
 			return nil, err
 		}
-		if ok {
-			rows = append(rows, r)
+	} else {
+		rows = ex.ar.ints.get(len(in.Rows))
+		for i, r := range in.Rows {
+			if err := ex.pollCtx(i); err != nil {
+				return nil, err
+			}
+			ok, err := pred(r)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				rows = append(rows, r)
+			}
 		}
 	}
 	v := ex.ar.val(RowsKind)
@@ -545,10 +649,25 @@ func (ex *executor) intersect(x *Intersect) (*Val, error) {
 	}
 	inR := ex.ar.rowSet(ex.t.NumRows())
 	inR.AddRows(r.Rows)
-	rows := ex.ar.ints.get(min(len(l.Rows), len(r.Rows)))
-	for _, rec := range l.Rows {
-		if inR.Contains(rec) {
-			rows = append(rows, rec)
+	var rows []int
+	if ex.goParallel(len(l.Rows)) {
+		// The bitset is written before the fork and only read inside it.
+		pr, err := ex.parallelFilter(l.Rows, func(rec int) (bool, error) {
+			return inR.Contains(rec), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = pr
+	} else {
+		rows = ex.ar.ints.get(min(len(l.Rows), len(r.Rows)))
+		for i, rec := range l.Rows {
+			if err := ex.pollCtx(i); err != nil {
+				return nil, err
+			}
+			if inR.Contains(rec) {
+				rows = append(rows, rec)
+			}
 		}
 	}
 	v := ex.ar.val(RowsKind)
@@ -645,11 +764,23 @@ func (ex *executor) superlative(x *Superlative) (*Val, error) {
 				}
 				out = idx[:i]
 			}
+		} else if ex.goParallel(len(rows)) {
+			// Subset superlative, morsel-parallel: per-morsel partial
+			// extremes merge exactly (no NaN on an indexable all-numeric
+			// column), then a parallel pass keeps the achieving rows.
+			pr, err := ex.parallelSuperNum(rows, nums, x.Max)
+			if err != nil {
+				return nil, err
+			}
+			out = pr
 		} else {
 			// Subset superlative: one vectorized pass over the float
 			// column, no Value boxing.
 			best := nums[rows[0]]
-			for _, r := range rows[1:] {
+			for i, r := range rows[1:] {
+				if err := ex.pollCtx(i); err != nil {
+					return nil, err
+				}
 				if (x.Max && nums[r] > best) || (!x.Max && nums[r] < best) {
 					best = nums[r]
 				}
@@ -663,15 +794,23 @@ func (ex *executor) superlative(x *Superlative) (*Val, error) {
 			out = buf
 		}
 	} else {
+		// Value.Compare is not guaranteed transitive across mixed-kind
+		// or NaN cells, so this fold is order-sensitive and stays serial.
 		best := t.Value(rows[0], x.Col)
-		for _, r := range rows[1:] {
+		for i, r := range rows[1:] {
+			if err := ex.pollCtx(i); err != nil {
+				return nil, err
+			}
 			v := t.Value(r, x.Col)
 			if (x.Max && v.Compare(best) > 0) || (!x.Max && v.Compare(best) < 0) {
 				best = v
 			}
 		}
 		buf := ex.ar.ints.get(len(rows))
-		for _, r := range rows {
+		for i, r := range rows {
+			if err := ex.pollCtx(i); err != nil {
+				return nil, err
+			}
 			if t.Value(r, x.Col).Compare(best) == 0 {
 				buf = append(buf, r)
 			}
@@ -694,20 +833,32 @@ func (ex *executor) projectCol(x *ProjectCol) (*Val, error) {
 		return nil, err
 	}
 	t := ex.t
-	keys := t.ColumnKeys(x.Col)
-	d := &ex.ar.ded
-	d.init(len(in.Rows))
-	vals := ex.ar.vals.get(len(in.Rows))
-	var k string
-	// Payloads are row indices; column keys are canonical already, so
-	// candidate confirmation is plain (interned) string equality.
-	eq := func(j int32) bool { return keys[j] == k }
-	for _, r := range in.Rows {
-		k = keys[r]
-		h := table.HashString(table.FNVOffset, k)
-		if _, found := d.lookup(h, eq); !found {
-			d.insert(h, int32(r))
-			vals = append(vals, t.Value(r, x.Col))
+	var vals []table.Value
+	if ex.goParallel(len(in.Rows)) {
+		pv, err := ex.parallelProject(in.Rows, x.Col)
+		if err != nil {
+			return nil, err
+		}
+		vals = pv
+	} else {
+		keys := t.ColumnKeys(x.Col)
+		d := &ex.ar.ded
+		d.init(len(in.Rows))
+		vals = ex.ar.vals.get(len(in.Rows))
+		var k string
+		// Payloads are row indices; column keys are canonical already, so
+		// candidate confirmation is plain (interned) string equality.
+		eq := func(j int32) bool { return keys[j] == k }
+		for i, r := range in.Rows {
+			if err := ex.pollCtx(i); err != nil {
+				return nil, err
+			}
+			k = keys[r]
+			h := table.HashString(table.FNVOffset, k)
+			if _, found := d.lookup(h, eq); !found {
+				d.insert(h, int32(r))
+				vals = append(vals, t.Value(r, x.Col))
+			}
 		}
 	}
 	v := ex.ar.val(ValuesKind)
@@ -798,7 +949,10 @@ func (ex *executor) compareVals(x *CompareVals) (*Val, error) {
 		return ex.ar.val(ValuesKind), nil
 	}
 	best := t.Value(pool[0], x.KeyCol)
-	for _, r := range pool[1:] {
+	for i, r := range pool[1:] {
+		if err := ex.pollCtx(i); err != nil {
+			return nil, err
+		}
 		k := t.Value(r, x.KeyCol)
 		if (x.Max && k.Compare(best) > 0) || (!x.Max && k.Compare(best) < 0) {
 			best = k
@@ -849,12 +1003,23 @@ func (ex *executor) aggregate(x *Aggregate) (*Val, error) {
 	if len(in.Values) == 0 {
 		return nil, fmt.Errorf("%s over an empty set", x.Fn)
 	}
+	if ex.goParallel(len(in.Values)) {
+		out, err := ex.parallelAggFold(x.Fn, in.Values)
+		if err != nil {
+			return nil, err
+		}
+		v := ex.ar.val(ScalarKind)
+		v.Values = append(ex.ar.vals.get(1), out)
+		v.Aggr = x.Fn
+		v.Cells = in.Cells
+		return v, nil
+	}
 	var sum float64
 	var extreme table.Value
 	for i, v := range in.Values {
 		f, ok := v.Float()
 		if !ok {
-			return nil, fmt.Errorf("%s over non-numeric value %q", x.Fn, v)
+			return nil, aggTypeError(x.Fn, v)
 		}
 		sum += f
 		switch x.Fn {
@@ -884,6 +1049,12 @@ func (ex *executor) aggregate(x *Aggregate) (*Val, error) {
 	v.Aggr = x.Fn
 	v.Cells = in.Cells
 	return v, nil
+}
+
+// aggTypeError is the shared non-numeric aggregate error, so the
+// serial and morsel-parallel folds surface byte-identical messages.
+func aggTypeError(fn string, v table.Value) error {
+	return fmt.Errorf("%s over non-numeric value %q", fn, v)
 }
 
 func (ex *executor) arith(x *Arith) (*Val, error) {
@@ -957,7 +1128,10 @@ func (ex *executor) sqlProject(x *SQLProject) (*Val, error) {
 	if x.Order != nil {
 		sortKeys = ex.ar.vals.get(nrows)
 	}
-	for _, r := range in.Rows {
+	for ri, r := range in.Rows {
+		if err := ex.pollCtx(ri); err != nil {
+			return nil, err
+		}
 		base := len(flat)
 		for i := range x.Items {
 			it := &x.Items[i]
@@ -1039,6 +1213,11 @@ func (ex *executor) sqlAggregate(x *SQLAggregate) (*Val, error) {
 	if x.GroupCol < 0 {
 		ngroups = 1
 		groupRows = func(int) []int { return in.Rows }
+	} else if ex.goParallel(len(in.Rows)) {
+		groupRows, ngroups, err = ex.parallelGroup(in.Rows, ex.t.ColumnKeys(x.GroupCol))
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		keys := ex.t.ColumnKeys(x.GroupCol)
 		d := &ex.ar.ded
@@ -1048,7 +1227,10 @@ func (ex *executor) sqlAggregate(x *SQLAggregate) (*Val, error) {
 		counts := ex.ar.ints.get(len(in.Rows)) // rows per group
 		var k string
 		eq := func(g int32) bool { return keys[reps[g]] == k }
-		for _, r := range in.Rows {
+		for i, r := range in.Rows {
+			if err := ex.pollCtx(i); err != nil {
+				return nil, err
+			}
 			k = keys[r]
 			h := table.HashString(table.FNVOffset, k)
 			id, found := d.lookup(h, eq)
@@ -1166,6 +1348,9 @@ func (ex *executor) distinct(x *Distinct) (*Val, error) {
 	var cur []table.Value
 	eq := func(j int32) bool { return rowsKeyEqual(in.Data[j], cur) }
 	for i := range in.Data {
+		if err := ex.pollCtx(i); err != nil {
+			return nil, err
+		}
 		cur = in.Data[i]
 		h := hashTableRow(cur)
 		if _, found := d.lookup(h, eq); found {
@@ -1223,6 +1408,9 @@ func (ex *executor) sqlUnion(x *SQLUnion) (*Val, error) {
 	eq := func(j int32) bool { return rowsKeyEqual(data[j], cur) }
 	for _, side := range [2]*Val{l, r} {
 		for i := range side.Data {
+			if err := ex.pollCtx(i); err != nil {
+				return nil, err
+			}
 			cur = side.Data[i]
 			h := hashTableRow(cur)
 			if _, found := d.lookup(h, eq); found {

@@ -1,0 +1,645 @@
+package plan
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nlexplain/internal/table"
+)
+
+// Morsel-driven intra-query parallelism.
+//
+// Big scans split the row space into fixed-size morsels and dispatch
+// them to a shared bounded worker pool: the calling goroutine is
+// always worker 0, and up to ExecWorkers()-1 extra goroutines join if
+// the process-wide pool has free slots (if it is saturated the caller
+// simply drains every morsel itself — the parallel path degrades to
+// serial, never blocks). Morsels are claimed dynamically off an atomic
+// counter, so stragglers do not idle the pool.
+//
+// Merging is deterministic: every kernel collects a per-morsel partial
+// (matching rows, a partial extreme, local groups) indexed by morsel,
+// and the caller folds the partials in morsel-index order after the
+// join. Because input row sets are ascending (the Val invariant) and
+// morsels tile them in order, concatenating per-morsel row matches
+// reproduces the serial output exactly, and first-appearance dedup
+// orders (value projection, GROUP BY) are preserved by merging
+// locally-first representatives morsel by morsel.
+//
+// Partials live in pooled scratch buffers sliced into disjoint
+// per-morsel windows (morsel m writes only [lo:hi), each window's
+// capacity bounds its morsel's output), so workers allocate nothing
+// per morsel and two workers never share a byte. Workers never touch
+// the caller's arena — pooled arena memory stays single-owner — and
+// scratch is released before the kernel returns, never retained past
+// the join.
+const (
+	// morselRows is the fixed morsel size. A multiple of 64 keeps
+	// morsels aligned to RowSet word boundaries; 32K rows is large
+	// enough to amortize dispatch and small enough to load-balance.
+	morselRows = 32768
+
+	// ctxCheckRows is how often serial scan loops poll the execution
+	// context (power of two; checked with a mask).
+	ctxCheckRows = 4096
+
+	// DefaultParallelThreshold is the input-size floor below which
+	// execution always stays on the serial flat-2-allocs path.
+	DefaultParallelThreshold = 1 << 16
+)
+
+var (
+	// cfgWorkers is the configured worker count; 0 means "resolve
+	// runtime.GOMAXPROCS(0) at execution time".
+	cfgWorkers atomic.Int64
+	// cfgThreshold is the configured parallel threshold; 0 means
+	// DefaultParallelThreshold.
+	cfgThreshold atomic.Int64
+
+	statParallelRuns atomic.Uint64
+	statSerialRuns   atomic.Uint64
+	statMorsels      atomic.Uint64
+
+	// morselObs, when set, receives every morsel's wall-clock duration
+	// (the engine feeds its exec.morsel latency histogram from it).
+	morselObs atomic.Pointer[func(time.Duration)]
+)
+
+// extraSem bounds the extra worker goroutines the whole process may
+// run at once, across all concurrent executions. Sized at least 8 so
+// tests forcing SetExecWorkers(8) exercise real cross-goroutine
+// interleavings even on small machines.
+var extraSem = make(chan struct{}, max(8, 2*runtime.GOMAXPROCS(0)))
+
+// SetExecWorkers sets the per-query worker count used by the parallel
+// execution path and returns the previous setting. n <= 0 restores the
+// default (runtime.GOMAXPROCS at execution time). The setting is
+// process-wide: workers are a shared resource, not a per-engine one.
+func SetExecWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(cfgWorkers.Swap(int64(n)))
+}
+
+// ExecWorkers returns the resolved per-query worker count (>= 1).
+func ExecWorkers() int {
+	if n := int(cfgWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetParallelThreshold sets the input-size floor for the parallel path
+// and returns the previous resolved value. n <= 0 restores
+// DefaultParallelThreshold. Intended for tests and benchmarks that
+// force small inputs onto the parallel path.
+func SetParallelThreshold(n int) int {
+	prev := ParallelThreshold()
+	if n < 0 {
+		n = 0
+	}
+	cfgThreshold.Store(int64(n))
+	return prev
+}
+
+// ParallelThreshold returns the resolved parallel threshold.
+func ParallelThreshold() int {
+	if n := int(cfgThreshold.Load()); n > 0 {
+		return n
+	}
+	return DefaultParallelThreshold
+}
+
+// ParallelEligible reports whether an input of n rows would take the
+// morsel-parallel path under the current configuration.
+func ParallelEligible(n int) bool {
+	return n >= ParallelThreshold() && ExecWorkers() > 1
+}
+
+// ExecStats returns the process-wide execution counters: completed
+// runs that used at least one parallel kernel, fully serial runs, and
+// total morsels executed.
+func ExecStats() (parallelRuns, serialRuns, morsels uint64) {
+	return statParallelRuns.Load(), statSerialRuns.Load(), statMorsels.Load()
+}
+
+// SetMorselObserver installs fn to receive each morsel's execution
+// duration (nil uninstalls). One observer is active at a time; the
+// last registration wins, so a process with several engines reports
+// morsel latency to the engine wired most recently.
+func SetMorselObserver(fn func(time.Duration)) {
+	if fn == nil {
+		morselObs.Store(nil)
+		return
+	}
+	morselObs.Store(&fn)
+}
+
+// FamilyOf classifies a plan root into a coarse query family for
+// profiling labels: lookup, comparative, superlative, aggregate, sql.
+func FamilyOf(n Node) string {
+	switch x := n.(type) {
+	case *ProjectCol:
+		return FamilyOf(x.Input)
+	case *SQLProject, *SQLAggregate, *Distinct, *Limit, *SQLUnion, *SQLDiff:
+		return "sql"
+	case *Aggregate, *Arith, *MostFrequent, *CompareVals:
+		return "aggregate"
+	case *Superlative, *IndexSuper:
+		return "superlative"
+	case *Compare, *Filter:
+		return "comparative"
+	}
+	return "lookup"
+}
+
+// predHasFunc reports whether a predicate tree contains an opaque
+// FuncPred closure. Such closures may run nested executions and are
+// not required to be goroutine-safe, so filters containing one never
+// take the parallel path.
+func predHasFunc(p Pred) bool {
+	switch x := p.(type) {
+	case *FuncPred:
+		return true
+	case *AndPred:
+		return predHasFunc(x.L) || predHasFunc(x.R)
+	case *OrPred:
+		return predHasFunc(x.L) || predHasFunc(x.R)
+	case *NotPred:
+		return predHasFunc(x.P)
+	}
+	return false
+}
+
+// goParallel is the per-kernel gate: true when the input is past the
+// threshold and more than one worker is configured.
+func (ex *executor) goParallel(n int) bool {
+	return n >= ParallelThreshold() && ExecWorkers() > 1
+}
+
+// pollCtx is the serial-path cancellation check: index-driven loops
+// call it every iteration and it touches the context once per
+// ctxCheckRows rows.
+func (ex *executor) pollCtx(i int) error {
+	if i&(ctxCheckRows-1) == 0 && ex.ctx != nil {
+		return ex.ctx.Err()
+	}
+	return nil
+}
+
+// scratchPool recycles the flat buffers parallel kernels tile into
+// per-morsel windows. Entries are surrendered to the GC on memory
+// pressure like any sync.Pool; a pooled Value buffer may briefly keep
+// table-interned strings reachable between runs, which only extends
+// the owning table's lifetime, never a query result's.
+type scratchPool[T any] struct{ p sync.Pool }
+
+func (s *scratchPool[T]) get(n int) *[]T {
+	p, _ := s.p.Get().(*[]T)
+	if p == nil || cap(*p) < n {
+		buf := make([]T, n)
+		return &buf
+	}
+	*p = (*p)[:cap(*p)]
+	return p
+}
+
+func (s *scratchPool[T]) put(p *[]T) { s.p.Put(p) }
+
+var (
+	intScratch   scratchPool[int]
+	int32Scratch scratchPool[int32]
+	valScratch   scratchPool[table.Value]
+)
+
+func morselCount(n int) int { return (n + morselRows - 1) / morselRows }
+
+func morselBounds(m, n int) (lo, hi int) {
+	lo = m * morselRows
+	hi = min(lo+morselRows, n)
+	return lo, hi
+}
+
+// forkJoin executes body(w, m) for every morsel index m in [0, nm),
+// from the calling goroutine (worker 0) plus up to workers-1 extra
+// goroutines admitted by extraSem. It returns after every claimed
+// morsel finished. The context is polled at morsel boundaries; worker
+// panics are captured and re-raised on the caller after the join, so
+// the engine's panic containment sees them exactly as serial panics.
+//
+// body must confine itself to its own worker state (index w), its
+// morsel's partial slot (index m), and read-only shared inputs; the
+// caller's arena is off-limits until forkJoin returns.
+func (ex *executor) forkJoin(nm int, body func(w, m int) error) error {
+	workers := ExecWorkers()
+	if workers > nm {
+		workers = nm
+	}
+	var (
+		next     atomic.Int64
+		bodyErr  atomic.Pointer[error]
+		panicked atomic.Pointer[any]
+	)
+	obs := morselObs.Load()
+	loop := func(w int) {
+		defer func() {
+			if p := recover(); p != nil {
+				pv := p
+				panicked.CompareAndSwap(nil, &pv)
+			}
+		}()
+		for {
+			if panicked.Load() != nil || bodyErr.Load() != nil {
+				return
+			}
+			m := int(next.Add(1)) - 1
+			if m >= nm {
+				return
+			}
+			if ex.ctx != nil {
+				if err := ex.ctx.Err(); err != nil {
+					bodyErr.CompareAndSwap(nil, &err)
+					return
+				}
+			}
+			var start time.Time
+			if obs != nil {
+				start = time.Now()
+			}
+			if err := body(w, m); err != nil {
+				bodyErr.CompareAndSwap(nil, &err)
+				return
+			}
+			if obs != nil {
+				(*obs)(time.Since(start))
+			}
+			statMorsels.Add(1)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		select {
+		case extraSem <- struct{}{}:
+		default:
+			// Pool saturated: the remaining morsels drain on the workers
+			// already running (always at least the caller).
+			w = workers
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() { <-extraSem }()
+			loop(w)
+		}(w)
+	}
+	loop(0)
+	wg.Wait()
+	ex.usedParallel = true
+	if p := panicked.Load(); p != nil {
+		panic(*p)
+	}
+	if e := bodyErr.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// parallelRows scans the row space [0, n) in parallel: match appends
+// onto dst the matching rows of [lo, hi) in ascending order, and the
+// per-morsel partials concatenate (in morsel order, so ascending
+// overall) into one arena row buffer.
+func (ex *executor) parallelRows(n int, match func(dst []int, lo, hi int) []int) ([]int, error) {
+	nm := morselCount(n)
+	parts := make([][]int, nm)
+	buf := intScratch.get(n)
+	defer intScratch.put(buf)
+	err := ex.forkJoin(nm, func(_, m int) error {
+		lo, hi := morselBounds(m, n)
+		parts[m] = match((*buf)[lo:lo:hi], lo, hi)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ex.concatParts(parts), nil
+}
+
+// parallelFilter keeps the rows of an ascending row set that satisfy
+// keep, preserving order. keep must be goroutine-safe; per-row errors
+// abort the scan (first error observed wins — the compiled predicates
+// routed here never error).
+func (ex *executor) parallelFilter(rows []int, keep func(r int) (bool, error)) ([]int, error) {
+	nm := morselCount(len(rows))
+	parts := make([][]int, nm)
+	buf := intScratch.get(len(rows))
+	defer intScratch.put(buf)
+	err := ex.forkJoin(nm, func(_, m int) error {
+		lo, hi := morselBounds(m, len(rows))
+		dst := (*buf)[lo:lo:hi]
+		for _, r := range rows[lo:hi] {
+			ok, err := keep(r)
+			if err != nil {
+				return err
+			}
+			if ok {
+				dst = append(dst, r)
+			}
+		}
+		parts[m] = dst
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ex.concatParts(parts), nil
+}
+
+func (ex *executor) concatParts(parts [][]int) []int {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := ex.ar.ints.get(total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// parallelSuperNum is the subset superlative over a clean numeric
+// column: per-morsel partial extremes merged (exact — an indexable
+// all-numeric column has no NaN, so float max/min is associative),
+// then a parallel filter for the achieving rows.
+func (ex *executor) parallelSuperNum(rows []int, nums []float64, wantMax bool) ([]int, error) {
+	nm := morselCount(len(rows))
+	bests := make([]float64, nm)
+	err := ex.forkJoin(nm, func(_, m int) error {
+		lo, hi := morselBounds(m, len(rows))
+		best := nums[rows[lo]]
+		for _, r := range rows[lo+1 : hi] {
+			if (wantMax && nums[r] > best) || (!wantMax && nums[r] < best) {
+				best = nums[r]
+			}
+		}
+		bests[m] = best
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := bests[0]
+	for _, b := range bests[1:] {
+		if (wantMax && b > best) || (!wantMax && b < best) {
+			best = b
+		}
+	}
+	return ex.parallelFilter(rows, func(r int) (bool, error) { return nums[r] == best, nil })
+}
+
+// parallelProject dedups the column values of an ascending row set:
+// each morsel collects its locally-distinct values (local
+// first-appearance order, per-worker heap dedup scratch), and the
+// caller merges the partials in morsel order through the arena dedup —
+// which is exactly global first-appearance order.
+func (ex *executor) parallelProject(rows []int, col int) ([]table.Value, error) {
+	t := ex.t
+	keys := t.ColumnKeys(col)
+	nm := morselCount(len(rows))
+	parts := make([][]table.Value, nm)
+	type wstate struct {
+		d    dedup
+		reps []int
+	}
+	ws := make([]wstate, ExecWorkers())
+	buf := valScratch.get(len(rows))
+	defer valScratch.put(buf)
+	err := ex.forkJoin(nm, func(w, m int) error {
+		st := &ws[w]
+		lo, hi := morselBounds(m, len(rows))
+		st.d.init(hi - lo)
+		st.reps = st.reps[:0]
+		vals := (*buf)[lo:lo:hi]
+		var k string
+		eq := func(j int32) bool { return keys[st.reps[j]] == k }
+		for _, r := range rows[lo:hi] {
+			k = keys[r]
+			h := table.HashString(table.FNVOffset, k)
+			if _, found := st.d.lookup(h, eq); !found {
+				st.d.insert(h, int32(len(st.reps)))
+				st.reps = append(st.reps, r)
+				vals = append(vals, t.Value(r, col))
+			}
+		}
+		parts[m] = vals
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := ex.ar.vals.get(total)
+	d := &ex.ar.ded
+	d.init(total)
+	var cand table.Value
+	eq := func(j int32) bool { return table.KeyEqual(out[j], cand) }
+	for _, p := range parts {
+		for _, v := range p {
+			cand = v
+			h := v.HashKey(table.FNVOffset)
+			if _, found := d.lookup(h, eq); found {
+				continue
+			}
+			d.insert(h, int32(len(out)))
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// aggPartial is one morsel's contribution to a value-set aggregate.
+type aggPartial struct {
+	sum     float64
+	extreme table.Value
+	has     bool
+	err     error
+}
+
+// parallelAggFold recombines sum/avg/min/max over a large value set
+// from per-morsel partials folded in morsel order. count never reaches
+// here (it is O(1) on the serial path). min/max and the first
+// non-numeric error recombine exactly; sum/avg partials fold left in
+// morsel order, which is bit-identical to the serial left fold for the
+// integer-valued corpus data and guarded by the parallel differential
+// tests.
+func (ex *executor) parallelAggFold(fn string, vals []table.Value) (table.Value, error) {
+	nm := morselCount(len(vals))
+	parts := make([]aggPartial, nm)
+	if err := ex.forkJoin(nm, func(_, m int) error {
+		lo, hi := morselBounds(m, len(vals))
+		p := &parts[m]
+		for _, v := range vals[lo:hi] {
+			f, ok := v.Float()
+			if !ok {
+				p.err = aggTypeError(fn, v)
+				return nil
+			}
+			p.sum += f
+			switch fn {
+			case "min":
+				if !p.has || v.Compare(p.extreme) < 0 {
+					p.extreme, p.has = v, true
+				}
+			case "max":
+				if !p.has || v.Compare(p.extreme) > 0 {
+					p.extreme, p.has = v, true
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return table.Value{}, err
+	}
+	var sum float64
+	var extreme table.Value
+	n, has := 0, false
+	for m := range parts {
+		p := &parts[m]
+		if p.err != nil {
+			// The earliest morsel's first non-numeric value is the
+			// globally first one — same error as the serial scan.
+			return table.Value{}, p.err
+		}
+		lo, hi := morselBounds(m, len(vals))
+		n += hi - lo
+		sum += p.sum
+		if p.has {
+			switch fn {
+			case "min":
+				if !has || p.extreme.Compare(extreme) < 0 {
+					extreme, has = p.extreme, true
+				}
+			case "max":
+				if !has || p.extreme.Compare(extreme) > 0 {
+					extreme, has = p.extreme, true
+				}
+			}
+		}
+	}
+	switch fn {
+	case "min", "max":
+		return extreme, nil
+	case "sum":
+		return table.NumberValue(sum), nil
+	case "avg":
+		return table.NumberValue(sum / float64(n)), nil
+	}
+	return table.Value{}, fmt.Errorf("unknown aggregate %q", fn)
+}
+
+// parallelGroup is the sharded hash-merge behind a big GROUP BY: each
+// morsel builds local groups (per-worker dedup scratch, local reps in
+// first-appearance order), the caller merges local groups into global
+// ids in morsel order (= global first-appearance order) and counting-
+// sorts every row into its group's contiguous segment — identical
+// output to the serial stable grouping.
+func (ex *executor) parallelGroup(rows []int, keys []string) (groupRows func(g int) []int, ngroups int, err error) {
+	nm := morselCount(len(rows))
+	type part struct {
+		reps []int   // local group representative rows, first-appearance order
+		gids []int32 // local group id per row position in this morsel
+	}
+	parts := make([]part, nm)
+	type wstate struct{ d dedup }
+	ws := make([]wstate, ExecWorkers())
+	gbuf := int32Scratch.get(len(rows))
+	defer int32Scratch.put(gbuf)
+	err = ex.forkJoin(nm, func(w, m int) error {
+		st := &ws[w]
+		lo, hi := morselBounds(m, len(rows))
+		st.d.init(hi - lo)
+		p := &parts[m]
+		p.reps = make([]int, 0, 32)
+		p.gids = (*gbuf)[lo:lo:hi]
+		var k string
+		eq := func(j int32) bool { return keys[p.reps[j]] == k }
+		for _, r := range rows[lo:hi] {
+			k = keys[r]
+			h := table.HashString(table.FNVOffset, k)
+			id, found := st.d.lookup(h, eq)
+			if !found {
+				id = int32(len(p.reps))
+				st.d.insert(h, id)
+				p.reps = append(p.reps, r)
+			}
+			p.gids = append(p.gids, id)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+
+	totalLocal := 0
+	for m := range parts {
+		totalLocal += len(parts[m].reps)
+	}
+	d := &ex.ar.ded
+	d.init(totalLocal)
+	reps := ex.ar.ints.get(totalLocal)   // global representative rows
+	counts := ex.ar.ints.get(totalLocal) // rows per global group
+	gmaps := make([][]int32, nm)         // local gid -> global gid
+	var k string
+	eq := func(j int32) bool { return keys[reps[j]] == k }
+	for m := range parts {
+		p := &parts[m]
+		gm := make([]int32, len(p.reps))
+		for j, rep := range p.reps {
+			k = keys[rep]
+			h := table.HashString(table.FNVOffset, k)
+			id, found := d.lookup(h, eq)
+			if !found {
+				id = int32(len(reps))
+				d.insert(h, id)
+				reps = append(reps, rep)
+				counts = append(counts, 0)
+			}
+			gm[j] = id
+		}
+		gmaps[m] = gm
+	}
+	for m := range parts {
+		gm := gmaps[m]
+		for _, lg := range parts[m].gids {
+			counts[gm[lg]]++
+		}
+	}
+	ngroups = len(reps)
+
+	flat := ex.ar.ints.get(len(rows))[:len(rows)]
+	starts := ex.ar.ints.get(ngroups)
+	cursor := ex.ar.ints.get(ngroups)
+	off := 0
+	for _, c := range counts {
+		starts = append(starts, off)
+		cursor = append(cursor, off)
+		off += c
+	}
+	for m := range parts {
+		gm := gmaps[m]
+		lo, _ := morselBounds(m, len(rows))
+		for i, lg := range parts[m].gids {
+			g := gm[lg]
+			flat[cursor[g]] = rows[lo+i]
+			cursor[g]++
+		}
+	}
+	return func(g int) []int { return flat[starts[g] : starts[g]+counts[g]] }, ngroups, nil
+}

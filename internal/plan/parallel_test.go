@@ -1,0 +1,360 @@
+package plan
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nlexplain/internal/table"
+)
+
+// bigTestTable builds a deterministic n-row table shaped like the
+// workload corpus: a low-cardinality text column, a wide-range numeric
+// column, a low-cardinality numeric column, and a text column with a
+// few non-numeric stragglers mixed into otherwise numeric data (so the
+// non-indexable fallbacks are reachable).
+func bigTestTable(tb testing.TB, n int) *table.Table {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(7))
+	nations := []string{"Greece", "France", "China", "UK", "Brazil", "Fiji", "Tonga", "Samoa"}
+	rows := make([][]string, n)
+	for i := range rows {
+		mixed := strconv.Itoa(rng.Intn(1000))
+		if rng.Intn(512) == 0 {
+			mixed = "n/a"
+		}
+		rows[i] = []string{
+			nations[rng.Intn(len(nations))],
+			strconv.Itoa(rng.Intn(1_000_000)),
+			strconv.Itoa(1896 + 4*rng.Intn(40)),
+			mixed,
+		}
+	}
+	return table.MustNew("big", []string{"Nation", "Games", "Year", "Mixed"}, rows)
+}
+
+// forceParallel pins the executor to 8 workers with a low threshold
+// for the duration of a test, restoring the previous configuration
+// after. Tests using it must not run in parallel with each other (the
+// settings are process-wide), which is the default for Go tests.
+func forceParallel(tb testing.TB) {
+	tb.Helper()
+	prevW := SetExecWorkers(8)
+	prevT := SetParallelThreshold(1024)
+	tb.Cleanup(func() {
+		SetExecWorkers(prevW)
+		SetParallelThreshold(prevT)
+	})
+}
+
+func forceSerial(tb testing.TB) {
+	tb.Helper()
+	prevW := SetExecWorkers(1)
+	tb.Cleanup(func() { SetExecWorkers(prevW) })
+}
+
+// bigTestPlans enumerates one plan per parallel kernel (and a few
+// compositions), all against bigTestTable's schema.
+func bigTestPlans() map[string]Node {
+	countGroup := GroupItem{Label: "COUNT(*)", Fn: func(rows []int) (table.Value, error) {
+		return table.NumberValue(float64(len(rows))), nil
+	}}
+	return map[string]Node{
+		"compare_ne_entity":  &Compare{Col: 0, Cmp: "!=", V: table.ParseValue("Greece")},
+		"compare_eq_fold":    &Compare{Col: 0, Cmp: "=", V: table.ParseValue("greece")},
+		"compare_range_text": &Compare{Col: 3, Cmp: ">", V: table.ParseValue("500")},
+		"filter_and": &Filter{Input: &Scan{}, Pred: &AndPred{
+			L: &CmpPred{Col: 1, Op: ">", V: table.ParseValue("250000")},
+			R: &NotPred{P: &CmpPred{Col: 0, Op: "=", V: table.ParseValue("Fiji")}},
+		}},
+		"superlative_max": &Superlative{Col: 1, Max: true,
+			Input: &Compare{Col: 1, Cmp: "<", V: table.ParseValue("900000")}},
+		"superlative_min": &Superlative{Col: 1, Max: false,
+			Input: &Compare{Col: 1, Cmp: ">", V: table.ParseValue("100000")}},
+		"superlative_mixed_serial": &Superlative{Col: 3, Max: true, Input: &Scan{}},
+		"intersect": &Intersect{
+			L: &Compare{Col: 1, Cmp: ">", V: table.ParseValue("200000")},
+			R: &Compare{Col: 2, Cmp: "<", V: table.ParseValue("1996")},
+		},
+		"project_col":   &ProjectCol{Col: 0, Input: &Scan{}},
+		"project_wide":  &ProjectCol{Col: 1, Input: &Scan{}},
+		"aggregate_sum": &Aggregate{Fn: "sum", Input: &ProjectCol{Col: 1, Input: &Scan{}}},
+		"aggregate_avg": &Aggregate{Fn: "avg", Input: &ProjectCol{Col: 1, Input: &Scan{}}},
+		"aggregate_min": &Aggregate{Fn: "min", Input: &ProjectCol{Col: 1, Input: &Scan{}}},
+		"aggregate_max": &Aggregate{Fn: "max", Input: &ProjectCol{Col: 1, Input: &Scan{}}},
+		"aggregate_err": &Aggregate{Fn: "sum", Input: &ProjectCol{Col: 3, Input: &Scan{}}},
+		"group_by": &SQLAggregate{Input: &Scan{}, GroupCol: 0,
+			Items: []GroupItem{countGroup}},
+		"group_by_year": &SQLAggregate{Input: &Scan{}, GroupCol: 2,
+			Items: []GroupItem{countGroup}},
+	}
+}
+
+// runPlan executes a plan with the Capture tracer so witness cells are
+// computed, normalizing the error to its message (parallel and serial
+// paths must agree on errors too).
+func runPlan(tb testing.TB, n Node, t *table.Table) (*Val, string) {
+	tb.Helper()
+	v, err := Run(n, t, Capture{})
+	if err != nil {
+		return nil, err.Error()
+	}
+	return v, ""
+}
+
+// TestBigTableParallelMatchesSerial is the kernel-level differential
+// check: every parallel kernel must reproduce the serial path exactly —
+// answers, row order, value order, witness cells, and errors.
+func TestBigTableParallelMatchesSerial(t *testing.T) {
+	tab := bigTestTable(t, 100_000)
+	for name, n := range bigTestPlans() {
+		t.Run(name, func(t *testing.T) {
+			forceSerial(t)
+			want, wantErr := runPlan(t, n, tab)
+			forceParallel(t)
+			got, gotErr := runPlan(t, n, tab)
+			if wantErr != gotErr {
+				t.Fatalf("error mismatch: serial=%q parallel=%q", wantErr, gotErr)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("parallel result differs from serial\nserial:   %+v\nparallel: %+v", want, got)
+			}
+		})
+	}
+}
+
+// TestBigTableParallelDeterministic re-runs every plan several times
+// under forced parallelism: morsel scheduling is nondeterministic, the
+// merged output must not be.
+func TestBigTableParallelDeterministic(t *testing.T) {
+	tab := bigTestTable(t, 80_000)
+	forceParallel(t)
+	for name, n := range bigTestPlans() {
+		first, firstErr := runPlan(t, n, tab)
+		for i := 0; i < 4; i++ {
+			got, gotErr := runPlan(t, n, tab)
+			if firstErr != gotErr || !reflect.DeepEqual(first, got) {
+				t.Fatalf("%s: run %d differs from run 0", name, i+1)
+			}
+		}
+	}
+}
+
+// TestBigTableParallelUsesMorsels guards against the parallel path
+// silently regressing to serial: forced-parallel runs over a big table
+// must claim morsels.
+func TestBigTableParallelUsesMorsels(t *testing.T) {
+	tab := bigTestTable(t, 70_000)
+	forceParallel(t)
+	_, _, before := ExecStats()
+	if _, errs := runPlan(t, &Compare{Col: 0, Cmp: "!=", V: table.ParseValue("Greece")}, tab); errs != "" {
+		t.Fatal(errs)
+	}
+	if _, _, after := ExecStats(); after == before {
+		t.Fatal("forced-parallel run claimed no morsels")
+	}
+}
+
+// TestBigTableNaNAndTies exercises the merge edge cases: NaN literals
+// (range semantics: always false), and superlatives whose extreme is
+// achieved by many rows across morsel boundaries.
+func TestBigTableNaNAndTies(t *testing.T) {
+	n := 90_000
+	rows := make([][]string, n)
+	for i := range rows {
+		// Low-cardinality numeric column: every extreme is a huge tie
+		// group spanning every morsel.
+		rows[i] = []string{strconv.Itoa(i % 7), strconv.Itoa(i)}
+	}
+	tab := table.MustNew("ties", []string{"K", "Seq"}, rows)
+	forceParallel(t)
+
+	sup, errs := runPlan(t, &Superlative{Col: 0, Max: true, Input: &Compare{Col: 1, Cmp: ">=", V: table.ParseValue("0")}}, tab)
+	if errs != "" {
+		t.Fatal(errs)
+	}
+	forceSerial(t)
+	want, _ := runPlan(t, &Superlative{Col: 0, Max: true, Input: &Compare{Col: 1, Cmp: ">=", V: table.ParseValue("0")}}, tab)
+	if !reflect.DeepEqual(sup, want) {
+		t.Fatalf("tie-group superlative differs: parallel %d rows, serial %d rows", len(sup.Rows), len(want.Rows))
+	}
+
+	forceParallel(t)
+	nan, errs := runPlan(t, &Compare{Col: 1, Cmp: "<", V: table.NumberValue(math.NaN())}, tab)
+	if errs != "" {
+		t.Fatal(errs)
+	}
+	if len(nan.Rows) != 0 {
+		t.Fatalf("NaN range matched %d rows, want 0", len(nan.Rows))
+	}
+}
+
+// TestBigTableCtxCancel verifies both cancellation surfaces: a
+// pre-canceled context fails fast, and a deadline firing mid-scan
+// aborts the run with the context error.
+func TestBigTableCtxCancel(t *testing.T) {
+	tab := bigTestTable(t, 120_000)
+	n := &Aggregate{Fn: "sum", Input: &ProjectCol{Col: 1, Input: &Scan{}}}
+
+	for _, mode := range []string{"serial", "parallel"} {
+		t.Run(mode, func(t *testing.T) {
+			if mode == "parallel" {
+				forceParallel(t)
+			} else {
+				forceSerial(t)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			var out Val
+			if err := RunIntoCtx(ctx, &out, n, tab, Noop{}); err != context.Canceled {
+				t.Fatalf("pre-canceled run: err = %v, want context.Canceled", err)
+			}
+
+			// A deadline that fires mid-run: loop until the race lands
+			// inside the execution window at least once.
+			deadline := time.Now().Add(2 * time.Second)
+			for time.Now().Before(deadline) {
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Microsecond)
+				err := RunIntoCtx(ctx, &out, n, tab, Noop{})
+				cancel()
+				if err == context.DeadlineExceeded {
+					return
+				}
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+			}
+			t.Skip("scan always completed before the deadline fired")
+		})
+	}
+}
+
+// TestBigTableConfigRoundTrip pins the configuration API contract:
+// setters return the previous value, zero restores defaults, and
+// eligibility composes threshold and workers.
+func TestBigTableConfigRoundTrip(t *testing.T) {
+	prev := SetExecWorkers(3)
+	defer SetExecWorkers(prev)
+	if got := SetExecWorkers(5); got != 3 {
+		t.Fatalf("SetExecWorkers returned %d, want 3", got)
+	}
+	if ExecWorkers() != 5 {
+		t.Fatalf("ExecWorkers = %d, want 5", ExecWorkers())
+	}
+	SetExecWorkers(0)
+	if ExecWorkers() < 1 {
+		t.Fatalf("default ExecWorkers = %d, want >= 1", ExecWorkers())
+	}
+
+	prevT := SetParallelThreshold(2048)
+	defer SetParallelThreshold(prevT)
+	if ParallelThreshold() != 2048 {
+		t.Fatalf("ParallelThreshold = %d, want 2048", ParallelThreshold())
+	}
+	SetParallelThreshold(0)
+	if ParallelThreshold() != DefaultParallelThreshold {
+		t.Fatalf("default ParallelThreshold = %d, want %d", ParallelThreshold(), DefaultParallelThreshold)
+	}
+
+	SetExecWorkers(8)
+	SetParallelThreshold(1000)
+	if !ParallelEligible(1000) || ParallelEligible(999) {
+		t.Fatal("ParallelEligible threshold boundary wrong")
+	}
+	SetExecWorkers(1)
+	if ParallelEligible(1 << 30) {
+		t.Fatal("ParallelEligible with 1 worker should be false")
+	}
+}
+
+// TestBigTableMorselObserver verifies morsel durations reach the
+// installed observer and uninstalling stops delivery.
+func TestBigTableMorselObserver(t *testing.T) {
+	tab := bigTestTable(t, 70_000)
+	forceParallel(t)
+	// The observer fires from every worker goroutine concurrently, so
+	// the counter must be atomic (this is the contract real observers
+	// like the engine's latency histogram already satisfy).
+	var n atomic.Uint64
+	SetMorselObserver(func(time.Duration) { n.Add(1) })
+	defer SetMorselObserver(nil)
+	if _, errs := runPlan(t, &ProjectCol{Col: 0, Input: &Scan{}}, tab); errs != "" {
+		t.Fatal(errs)
+	}
+	SetMorselObserver(nil)
+	if n.Load() == 0 {
+		t.Fatal("observer saw no morsels")
+	}
+}
+
+// ---- benchmarks (CI runs these with -cpu 1,4) ----
+
+func benchPlans() []struct {
+	name string
+	n    Node
+} {
+	return []struct {
+		name string
+		n    Node
+	}{
+		{"compare_ne", &Compare{Col: 0, Cmp: "!=", V: table.ParseValue("Greece")}},
+		{"filter", &Filter{Input: &Scan{}, Pred: &AndPred{
+			L: &CmpPred{Col: 1, Op: ">", V: table.ParseValue("250000")},
+			R: &NotPred{P: &CmpPred{Col: 0, Op: "=", V: table.ParseValue("Fiji")}},
+		}}},
+		{"superlative", &Superlative{Col: 1, Max: true,
+			Input: &Compare{Col: 1, Cmp: "<", V: table.ParseValue("900000")}}},
+		{"aggregate_sum", &Aggregate{Fn: "sum", Input: &ProjectCol{Col: 1, Input: &Scan{}}}},
+		{"group_by", &SQLAggregate{Input: &Scan{}, GroupCol: 0,
+			Items: []GroupItem{{Label: "COUNT(*)", Fn: func(rows []int) (table.Value, error) {
+				return table.NumberValue(float64(len(rows))), nil
+			}}}}},
+	}
+}
+
+// BenchmarkBigTableSerial measures the serial kernels on a 256K-row
+// table; BenchmarkBigTableParallel the morsel path with 8 workers.
+// Comparing the two at -cpu 4 shows the parallel win; at -cpu 1 it
+// bounds the morsel overhead.
+func BenchmarkBigTableSerial(b *testing.B) {
+	tab := bigTestTable(b, 1<<18)
+	prev := SetExecWorkers(1)
+	defer SetExecWorkers(prev)
+	for _, bp := range benchPlans() {
+		b.Run(bp.name, func(b *testing.B) {
+			var out Val
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := RunInto(&out, bp.n, tab, Noop{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBigTableParallel(b *testing.B) {
+	tab := bigTestTable(b, 1<<18)
+	prevW := SetExecWorkers(8)
+	prevT := SetParallelThreshold(1024)
+	defer func() {
+		SetExecWorkers(prevW)
+		SetParallelThreshold(prevT)
+	}()
+	for _, bp := range benchPlans() {
+		b.Run(bp.name, func(b *testing.B) {
+			var out Val
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := RunInto(&out, bp.n, tab, Noop{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

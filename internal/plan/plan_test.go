@@ -187,7 +187,10 @@ func TestCompareUsesIndexAndMatchesScan(t *testing.T) {
 		}
 		// Cross-check against a straight scan fallback.
 		ex := &executor{t: tab}
-		want := ex.rangeScan(nil, 0, op, lit("2004"))
+		want, err := ex.rangeScan(nil, 0, op, lit("2004"))
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(v.Rows) != len(want) {
 			t.Fatalf("%s: rows = %v, want %v", op, v.Rows, want)
 		}

@@ -1,6 +1,7 @@
 package provenance
 
 import (
+	"context"
 	"sort"
 
 	"nlexplain/internal/dcs"
@@ -64,7 +65,13 @@ func Highlight(q dcs.Expr, t *table.Table) (*Highlights, error) {
 // top-level execution Result is returned alongside the highlights so
 // the explanation pipeline gets both from one traced execution.
 func HighlightCompiled(c *dcs.Compiled, t *table.Table) (*Highlights, *dcs.Result, error) {
-	p, res, err := ComputeCompiled(c, t)
+	return HighlightCompiledCtx(nil, c, t)
+}
+
+// HighlightCompiledCtx is HighlightCompiled with cooperative
+// cancellation threaded into the traced execution.
+func HighlightCompiledCtx(ctx context.Context, c *dcs.Compiled, t *table.Table) (*Highlights, *dcs.Result, error) {
+	p, res, err := ComputeCompiledCtx(ctx, c, t)
 	if err != nil {
 		return nil, nil, err
 	}

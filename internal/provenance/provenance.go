@@ -19,6 +19,8 @@
 package provenance
 
 import (
+	"context"
+
 	"nlexplain/internal/dcs"
 	"nlexplain/internal/table"
 )
@@ -66,6 +68,12 @@ func Compute(q dcs.Expr, t *table.Table) (*Prov, error) {
 // so callers needing both (the explanation pipeline) pay for exactly
 // one execution.
 func ComputeCompiled(c *dcs.Compiled, t *table.Table) (*Prov, *dcs.Result, error) {
+	return ComputeCompiledCtx(nil, c, t)
+}
+
+// ComputeCompiledCtx is ComputeCompiled with cooperative cancellation
+// threaded into the traced execution; a nil ctx disables the checks.
+func ComputeCompiledCtx(ctx context.Context, c *dcs.Compiled, t *table.Table) (*Prov, *dcs.Result, error) {
 	q := c.Expr
 	p := &Prov{
 		Output:      make(table.CellSet),
@@ -75,7 +83,7 @@ func ComputeCompiled(c *dcs.Compiled, t *table.Table) (*Prov, *dcs.Result, error
 	}
 
 	tr := NewCellTracer()
-	top, err := c.ExecuteWith(t, tr)
+	top, err := c.ExecuteWithCtx(ctx, t, tr)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -17,6 +17,10 @@ type Tolerances struct {
 	MaxP99Ratio float64
 	// MinThroughputRatio floors current/baseline throughput. Default 0.5.
 	MinThroughputRatio float64
+	// MinRowsRateRatio floors current/baseline scan throughput
+	// (rows/sec); checked only when the baseline carries a scan rate
+	// (bigtable-family runs). Default 0.5.
+	MinRowsRateRatio float64
 	// MaxErrorRateDelta caps the absolute increase in the error
 	// fraction (client + internal + transport). Default 0.02.
 	MaxErrorRateDelta float64
@@ -49,6 +53,7 @@ func (t Tolerances) withDefaults() Tolerances {
 	def(&t.MaxP50Ratio, 1.5)
 	def(&t.MaxP99Ratio, 1.5)
 	def(&t.MinThroughputRatio, 0.5)
+	def(&t.MinRowsRateRatio, 0.5)
 	def(&t.MaxErrorRateDelta, 0.02)
 	def(&t.MaxShedRateDelta, 0.02)
 	def(&t.MaxCacheHitDrop, 0.15)
@@ -130,6 +135,14 @@ func Compare(baseline, current *Report, tol Tolerances) []Violation {
 		}
 	}
 
+	if baseline.RowsPerSec > 0 {
+		ratio := current.RowsPerSec / baseline.RowsPerSec
+		if ratio < tol.MinRowsRateRatio {
+			add("rows_per_sec", baseline.RowsPerSec, current.RowsPerSec, tol.MinRowsRateRatio,
+				fmt.Sprintf("scan throughput fell to %.2fx of baseline", ratio))
+		}
+	}
+
 	checkLatency := func(metric string, base, cur, maxRatio float64) {
 		if base < tol.MinLatencyFloorMs && cur < tol.MinLatencyFloorMs {
 			return // both below the noise floor
@@ -199,6 +212,9 @@ func FormatComparison(baseline, current *Report) string {
 		fmt.Fprintf(&b, "%-22s %14.3f %14.3f %10s\n", name, base, cur, delta)
 	}
 	row("throughput_ops_s", baseline.Throughput, current.Throughput)
+	if baseline.RowsPerSec > 0 || current.RowsPerSec > 0 {
+		row("rows_per_sec", baseline.RowsPerSec, current.RowsPerSec)
+	}
 	row("latency_p50_ms", baseline.Latency.P50Ms, current.Latency.P50Ms)
 	row("latency_p90_ms", baseline.Latency.P90Ms, current.Latency.P90Ms)
 	row("latency_p99_ms", baseline.Latency.P99Ms, current.Latency.P99Ms)

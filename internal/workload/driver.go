@@ -48,6 +48,9 @@ type sample struct {
 	class   string
 	cached  bool
 	latency time.Duration
+	// rows is the op's declared scan size, booked only for successful
+	// executions so failed or shed ops don't inflate rows/sec.
+	rows int
 }
 
 // recorder accumulates samples for one worker (merged after the run,
@@ -57,7 +60,11 @@ type recorder struct {
 }
 
 func (r *recorder) record(op Op, out Outcome, lat time.Duration) {
-	r.samples = append(r.samples, sample{kind: op.Kind, class: out.Class, cached: out.Cached, latency: lat})
+	s := sample{kind: op.Kind, class: out.Class, cached: out.Cached, latency: lat}
+	if out.Class == ClassOK {
+		s.rows = op.ScanRows
+	}
+	r.samples = append(r.samples, s)
 }
 
 // Run registers the corpus at the target, drives the op stream

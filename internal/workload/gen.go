@@ -59,6 +59,10 @@ type Op struct {
 	// TimeoutMs overrides the per-op deadline when positive (the
 	// adversarial mix uses tiny values to exercise deadline handling).
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// ScanRows is how many table rows one execution of this op scans
+	// (the bigtable families set it to the big table's row count).
+	// Reports aggregate it into rows/sec scan throughput.
+	ScanRows int `json:"scan_rows,omitempty"`
 }
 
 // familyWeight is one weighted query family of a mix.
@@ -101,6 +105,24 @@ var Mixes = []Mix{
 		{"malformed", 25}, {"unknown_table", 10}, {"hog", 35}, {"tiny_timeout", 20}, {"lookup", 10}}},
 	{Name: "churn", About: "table lifecycle churn (register/append/drop) interleaved with queries", weights: []familyWeight{
 		{"churn", 40}, {"lookup", 25}, {"answer", 20}, {"aggregate", 15}}},
+	{Name: "bigtable", About: "scan-heavy answer-only traffic over the generated big table (needs a sized corpus)", weights: []familyWeight{
+		{"big_filter", 40}, {"big_superlative", 30}, {"big_aggregate", 30}}},
+}
+
+// DefaultBigRows is the TableBig row count Generate falls back to for
+// mixes that reference the bigtable families; GenerateSized (and
+// wtq-bench's -big-rows flag) overrides it.
+const DefaultBigRows = 100_000
+
+// needsBig reports whether the mix draws any bigtable family, i.e.
+// requires a corpus with TableBig.
+func (m Mix) needsBig() bool {
+	for _, fw := range m.weights {
+		if strings.HasPrefix(fw.family, "big_") {
+			return true
+		}
+	}
+	return false
 }
 
 // MixByName resolves a built-in mix.
@@ -156,8 +178,19 @@ func NewGenerator(seed int64, mix Mix, corpus *Corpus) *Generator {
 }
 
 // Generate is the one-shot convenience: corpus + n ops from a seed.
+// Mixes drawing bigtable families get a TableBig of DefaultBigRows.
 func Generate(seed int64, mix Mix, n int) (*Corpus, []Op) {
-	corpus := NewCorpus(seed)
+	bigRows := 0
+	if mix.needsBig() {
+		bigRows = DefaultBigRows
+	}
+	return GenerateSized(seed, mix, n, bigRows)
+}
+
+// GenerateSized is Generate over a sized corpus (bigRows > 0 adds
+// TableBig), for mixes with bigtable families.
+func GenerateSized(seed int64, mix Mix, n, bigRows int) (*Corpus, []Op) {
+	corpus := NewCorpusSized(seed, bigRows)
 	g := NewGenerator(seed, mix, corpus)
 	return corpus, g.Ops(n)
 }
@@ -236,9 +269,60 @@ func (g *Generator) genFamily(family string) Op {
 		return Op{Kind: OpExplain, Family: family, Table: t.Name(), Query: g.hogExpr(t).String(), TimeoutMs: 1}
 	case "churn":
 		return g.churnOp()
+	case "big_filter":
+		t := g.bigTable()
+		return Op{Kind: OpAnswer, Family: family, Table: t.Name(), Query: g.bigFilterExpr(t).String(), ScanRows: t.NumRows()}
+	case "big_superlative":
+		t := g.bigTable()
+		return Op{Kind: OpAnswer, Family: family, Table: t.Name(), Query: g.bigSuperlativeExpr(t).String(), ScanRows: t.NumRows()}
+	case "big_aggregate":
+		t := g.bigTable()
+		return Op{Kind: OpAnswer, Family: family, Table: t.Name(), Query: g.bigAggregateExpr(t).String(), ScanRows: t.NumRows()}
 	default:
 		panic(fmt.Sprintf("unknown workload family %q", family))
 	}
+}
+
+// bigTable resolves the sized corpus's scan-throughput table; the
+// bigtable families are only reachable through a sized corpus.
+func (g *Generator) bigTable() *table.Table {
+	t, ok := g.corpus.Table(TableBig)
+	if !ok {
+		panic("workload: bigtable mix requires a sized corpus (NewCorpusSized with bigRows > 0)")
+	}
+	return t
+}
+
+// bigFilterExpr counts a numeric comparison's matches: a full-column
+// scan with a scalar answer, so answer payloads stay tiny no matter
+// the table size. The literal is drawn from the wide Games range, so
+// most queries are distinct cache keys and every execution scans.
+func (g *Generator) bigFilterExpr(t *table.Table) dcs.Expr {
+	op := pick(g.rng, []dcs.CmpOp{dcs.Lt, dcs.Le, dcs.Gt, dcs.Ge, dcs.Ne})
+	v := table.NumberValue(float64(g.rng.Intn(1_000_000)))
+	return &dcs.Aggregate{Fn: dcs.Count, Arg: &dcs.Compare{Column: "Games", Op: op, V: v}}
+}
+
+// bigSuperlativeExpr projects a column of the argmax/argmin rows —
+// the superlative scan plus a deduplicating projection, still a small
+// answer. Half the draws restrict the record set with a comparison so
+// the filter and superlative kernels compose.
+func (g *Generator) bigSuperlativeExpr(t *table.Table) dcs.Expr {
+	var records dcs.Expr = &dcs.AllRecords{}
+	if g.rng.Intn(2) == 0 {
+		records = g.nonEmptyCompare(t)
+	}
+	return &dcs.ColumnValues{
+		Column:  pick(g.rng, textColumns),
+		Records: &dcs.ArgRecords{Max: g.rng.Intn(2) == 0, Records: records, Column: pick(g.rng, numericColumns)},
+	}
+}
+
+// bigAggregateExpr folds min/max/sum/avg/count over a projected
+// numeric column of the whole table.
+func (g *Generator) bigAggregateExpr(t *table.Table) dcs.Expr {
+	fn := pick(g.rng, []dcs.AggrFn{dcs.Count, dcs.Min, dcs.Max, dcs.Sum, dcs.Avg})
+	return &dcs.Aggregate{Fn: fn, Arg: &dcs.ColumnValues{Column: pick(g.rng, numericColumns), Records: &dcs.AllRecords{}}}
 }
 
 // anyTable picks one of the ordinary mix tables (never the huge

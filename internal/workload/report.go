@@ -53,6 +53,13 @@ type Report struct {
 	TotalOps   int     `json:"total_ops"`
 	Throughput float64 `json:"throughput_ops_s"`
 
+	// ScannedRows totals the declared scan sizes of successful ops
+	// (bigtable-family ops carry one; ordinary ops count 0), and
+	// RowsPerSec is that total over the run's wall clock — the scan
+	// throughput the bigtable perf gate tracks.
+	ScannedRows int64   `json:"scanned_rows,omitempty"`
+	RowsPerSec  float64 `json:"rows_per_sec,omitempty"`
+
 	// Counts maps outcome class (ok, client_error, timeout, overloaded,
 	// internal, transport) to op count; convenience totals below.
 	Counts   map[string]int `json:"counts"`
@@ -139,6 +146,7 @@ func buildReport(target string, ops []Op, recs []*recorder, elapsed time.Duratio
 			if s.cached {
 				rep.Cached++
 			}
+			rep.ScannedRows += int64(s.rows)
 			all = append(all, s.latency)
 			perKindDurs[s.kind] = append(perKindDurs[s.kind], s.latency)
 			if perKindCounts[s.kind] == nil {
@@ -156,6 +164,7 @@ func buildReport(target string, ops []Op, recs []*recorder, elapsed time.Duratio
 	}
 	if rep.DurationS > 0 {
 		rep.Throughput = float64(rep.TotalOps) / rep.DurationS
+		rep.RowsPerSec = float64(rep.ScannedRows) / rep.DurationS
 	}
 	return rep
 }
@@ -224,6 +233,9 @@ func (r *Report) Summary() string {
 		r.Counts[ClassOK], r.Errors, r.Sheds, r.Timeouts, r.Cached, r.CacheHitRatio,
 		r.AllocsPerOp, r.BytesPerOp,
 		r.OpSetSize, r.OpSetHash)
+	if r.ScannedRows > 0 {
+		s += fmt.Sprintf("\n  scan: %d rows at %.0f rows/sec", r.ScannedRows, r.RowsPerSec)
+	}
 	if r.Server != nil {
 		s += fmt.Sprintf("\n  server: %d series", r.Server.Series)
 		for _, name := range []string{"engine_explain_latency_seconds", "engine_answer_latency_seconds"} {

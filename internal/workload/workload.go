@@ -42,6 +42,11 @@ const (
 	TableMid   = "wl_mid"
 	TableLarge = "wl_large"
 	TableHuge  = "wl_huge"
+	// TableBig is the opt-in scan-throughput table of the bigtable mix:
+	// 10^5-10^7 generated rows, present only in corpora built with
+	// NewCorpusSized(seed, bigRows > 0). It is the table the
+	// morsel-parallel executor path is gated on.
+	TableBig = "wl_big"
 )
 
 // corpusSizes fixes the row count per table.
@@ -73,11 +78,22 @@ type Corpus struct {
 	byName map[string]*table.Table
 }
 
-// NewCorpus builds the three workload tables from a seed. The same
-// seed always yields byte-identical tables (and therefore identical
-// engine table versions), so cache-hit ratios are comparable between
-// two runs of the same seed.
+// NewCorpus builds the four standard workload tables from a seed. The
+// same seed always yields byte-identical tables (and therefore
+// identical engine table versions), so cache-hit ratios are comparable
+// between two runs of the same seed.
 func NewCorpus(seed int64) *Corpus {
+	return NewCorpusSized(seed, 0)
+}
+
+// NewCorpusSized is NewCorpus plus an optional TableBig of bigRows
+// generated rows (bigRows <= 0 omits it). The standard tables are
+// generated first from the same stream, so a sized corpus leaves them
+// byte-identical to NewCorpus's — existing mixes and their op-set
+// hashes are unaffected; the big table draws from an independent
+// seed-derived stream so its content is pinned by (seed, bigRows)
+// alone.
+func NewCorpusSized(seed int64, bigRows int) *Corpus {
 	rng := rand.New(rand.NewSource(seed))
 	c := &Corpus{byName: make(map[string]*table.Table)}
 	for _, name := range []string{TableSmall, TableMid, TableLarge, TableHuge} {
@@ -97,6 +113,25 @@ func NewCorpus(seed int64) *Corpus {
 		}
 		c.Tables = append(c.Tables, t)
 		c.byName[name] = t
+	}
+	if bigRows > 0 {
+		brng := rand.New(rand.NewSource(seed ^ 0x2545f4914f6cdd1d))
+		rows := make([][]string, bigRows)
+		for r := range rows {
+			rows[r] = []string{
+				nations[brng.Intn(len(nations))],
+				cities[brng.Intn(len(cities))],
+				strconv.Itoa(1896 + brng.Intn(40)*4),
+				strconv.Itoa(brng.Intn(1_000_000)),
+				results[brng.Intn(len(results))],
+			}
+		}
+		t, err := table.New(TableBig, corpusColumns, rows)
+		if err != nil {
+			panic(fmt.Sprintf("building corpus table %s: %v", TableBig, err))
+		}
+		c.Tables = append(c.Tables, t)
+		c.byName[TableBig] = t
 	}
 	return c
 }

@@ -449,3 +449,68 @@ func TestSummarizeQuantiles(t *testing.T) {
 		t.Fatalf("empty summary wrong: %+v", empty)
 	}
 }
+
+// TestBigtableSizedCorpusDeterministic pins the sized-corpus contract:
+// adding TableBig must not perturb the standard tables (so reports from
+// sized and unsized runs stay comparable), the big table itself must be
+// seed-deterministic, and the bigtable op stream must be reproducible,
+// answer-only, and book its scanned-row counts.
+func TestBigtableSizedCorpusDeterministic(t *testing.T) {
+	const bigRows = 5000
+	base := NewCorpus(7)
+	sized := NewCorpusSized(7, bigRows)
+	if len(sized.Tables) != len(base.Tables)+1 {
+		t.Fatalf("sized corpus has %d tables, want %d", len(sized.Tables), len(base.Tables)+1)
+	}
+	for i := range base.Tables {
+		ta, tb := base.Tables[i], sized.Tables[i]
+		if ta.Name() != tb.Name() || ta.NumRows() != tb.NumRows() {
+			t.Fatalf("sized corpus perturbed standard table %d (%s)", i, ta.Name())
+		}
+		for r := 0; r < ta.NumRows(); r++ {
+			for c := 0; c < ta.NumCols(); c++ {
+				if ta.Raw(r, c) != tb.Raw(r, c) {
+					t.Fatalf("table %s cell (%d,%d) differs between sized and unsized corpus", ta.Name(), r, c)
+				}
+			}
+		}
+	}
+	big, ok := sized.Table(TableBig)
+	if !ok || big.NumRows() != bigRows {
+		t.Fatalf("sized corpus TableBig: ok=%v rows=%d, want %d", ok, big.NumRows(), bigRows)
+	}
+	again, _ := NewCorpusSized(7, bigRows).Table(TableBig)
+	for r := 0; r < bigRows; r++ {
+		for c := 0; c < big.NumCols(); c++ {
+			if big.Raw(r, c) != again.Raw(r, c) {
+				t.Fatalf("TableBig cell (%d,%d) not deterministic across builds", r, c)
+			}
+		}
+	}
+
+	mix := mustMix(t, "bigtable")
+	corpus, opsA := GenerateSized(5, mix, 120, bigRows)
+	_, opsB := GenerateSized(5, mix, 120, bigRows)
+	if HashOps(opsA) != HashOps(opsB) {
+		t.Fatal("bigtable op stream not deterministic for a fixed seed")
+	}
+	tbl, _ := corpus.Table(TableBig)
+	for i, op := range opsA {
+		if op.Kind != OpAnswer {
+			t.Fatalf("op %d: kind = %v, want answer-only bigtable traffic", i, op.Kind)
+		}
+		if op.Table != TableBig {
+			t.Fatalf("op %d: table = %q, want %q", i, op.Table, TableBig)
+		}
+		if op.ScanRows != bigRows {
+			t.Fatalf("op %d: ScanRows = %d, want %d", i, op.ScanRows, bigRows)
+		}
+		q, err := dcs.Parse(op.Query)
+		if err != nil {
+			t.Fatalf("op %d (%s): query %q does not parse: %v", i, op.Family, op.Query, err)
+		}
+		if _, err := dcs.Execute(q, tbl); err != nil {
+			t.Fatalf("op %d (%s): query %q does not execute: %v", i, op.Family, op.Query, err)
+		}
+	}
+}
