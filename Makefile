@@ -29,7 +29,7 @@ PERF_SUMMARY_BIG  = perf_summary_big.txt
 BIG_ROWS          = 100000
 PERF_FLAGS_BIG    = -max-p50-ratio 4 -max-p99-ratio 4 -min-throughput-ratio 0.2 -min-rows-ratio 0.5 -summary $(PERF_SUMMARY_BIG)
 
-.PHONY: all build test vet fmt cover bench baseline baseline-big perf-gate metrics-lint store-stress bigtable-stress speedup serve ci
+.PHONY: all build test vet fmt cover bench baseline baseline-big perf-gate metrics-lint store-stress bigtable-stress crash-stress fuzz-wal speedup serve ci
 
 all: build
 
@@ -42,9 +42,10 @@ test:
 vet:
 	$(GO) vet ./...
 
-# fmt fails when any file needs reformatting, listing the offenders.
+# fmt fails when any file needs reformatting (including -s
+# simplifications), listing the offenders.
 fmt:
-	@out=$$(gofmt -l .); \
+	@out=$$(gofmt -s -l .); \
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
@@ -90,6 +91,24 @@ bigtable-stress:
 	$(GO) test -race -run BigTable -count=1 ./internal/plan/... ./internal/engine/...
 	$(GO) test -race -run 'TestPlanDifferentialParallel|TestSQLPlanDifferentialParallel' -count=1 ./internal/dcs/... ./internal/minisql/...
 
+# crash-stress is the durability gate: a real wtq-server (built -race)
+# is SIGKILLed mid-churn in a loop, restarted on the same data
+# directory, and every acknowledged mutation is checked to have
+# survived with its content-hash version and generation intact. Set
+# WTQ_CRASH_DIR to keep the data directory (CI uploads it as an
+# artifact when the gate fails) and WTQ_CRASH_ITERS to change the kill
+# count.
+crash-stress:
+	WTQ_CRASH=1 $(GO) test -race -run TestCrashRecovery -count=1 -timeout 10m -v ./cmd/wtq-server/
+
+# fuzz-wal runs the WAL replay fuzzer for a bounded window: any input
+# must either recover (torn tails truncated) or be rejected as corrupt
+# — never panic, never mis-parse. The seed corpus plus 30s of mutation
+# is cheap enough for every CI run; run with a longer -fuzztime
+# locally when touching the framing code.
+fuzz-wal:
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 30s ./internal/wal/
+
 # baseline regenerates the checked-in perf-gate baseline with the
 # CI-canonical workload (seed 1, mixed traffic, op-count bound).
 baseline:
@@ -110,12 +129,17 @@ baseline-big:
 # serial-vs-parallel ratios (with GOMAXPROCS disclosed) to the summary
 # artifact — it hard-fails if parallel answers ever diverge from
 # serial, so result identity is load-tested on every gate run too.
+# Both run legs execute with -data-dir, so the gate measures the
+# pipeline with durability on: the baselines' tolerances double as the
+# budget for WAL group commit staying off the query hot path.
 perf-gate:
-	$(GO) run ./cmd/wtq-bench run -seed 1 -mix mixed -ops 600 -workers 4 -require-metrics -out $(PERF_REPORT)
+	rm -rf perf_data && mkdir -p perf_data
+	$(GO) run ./cmd/wtq-bench run -seed 1 -mix mixed -ops 600 -workers 4 -require-metrics -data-dir perf_data/mixed -out $(PERF_REPORT)
 	$(GO) run ./cmd/wtq-bench compare $(PERF_FLAGS) $(PERF_BASELINE) $(PERF_REPORT)
-	$(GO) run ./cmd/wtq-bench run -seed 1 -mix bigtable -big-rows $(BIG_ROWS) -ops 200 -workers 4 -out $(PERF_REPORT_BIG)
+	$(GO) run ./cmd/wtq-bench run -seed 1 -mix bigtable -big-rows $(BIG_ROWS) -ops 200 -workers 4 -data-dir perf_data/big -out $(PERF_REPORT_BIG)
 	$(GO) run ./cmd/wtq-bench compare $(PERF_FLAGS_BIG) $(PERF_BASELINE_BIG) $(PERF_REPORT_BIG)
 	$(GO) run ./cmd/wtq-bench speedup -rows 1000000 -summary $(PERF_SUMMARY)
+	rm -rf perf_data
 
 # speedup runs the big-table query families serial and morsel-parallel
 # back to back, verifies bitwise-identical results, and prints the

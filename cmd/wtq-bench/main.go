@@ -119,6 +119,7 @@ func cmdRun(args []string, def runDefaults, stdout, stderr io.Writer) int {
 	engineCache := fs.Int("engine-cache", 0, "in-process engine LRU entries per cache (0 = default)")
 	engineTimeout := fs.Duration("engine-timeout", 0, "in-process engine per-query timeout (0 = default)")
 	engineStoreBudget := fs.Int64("engine-store-budget", 0, "in-process engine table-store byte budget (0 = unlimited)")
+	dataDir := fs.String("data-dir", "", "in-process durable data directory (WAL + segments); empty = in-memory")
 	requireMetrics := fs.Bool("require-metrics", false, "fail the run unless the target's /metrics scrape succeeds and is non-empty")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -143,13 +144,19 @@ func cmdRun(args []string, def runDefaults, stdout, stderr io.Writer) int {
 	}
 	var tgt workload.Target
 	if *target == "inproc" {
-		tgt = workload.NewInProc(engine.Options{
+		e, err := engine.Open(engine.Options{
 			Workers:         *engineWorkers,
 			MaxPending:      *enginePending,
 			CacheSize:       *engineCache,
 			QueryTimeout:    *engineTimeout,
 			StoreByteBudget: *engineStoreBudget,
+			DataDir:         *dataDir,
 		})
+		if err != nil {
+			fmt.Fprintf(stderr, "wtq-bench: opening engine: %v\n", err)
+			return 1
+		}
+		tgt = workload.NewInProcEngine(e)
 	} else {
 		tgt = workload.NewHTTPTarget(strings.TrimRight(*target, "/"))
 	}

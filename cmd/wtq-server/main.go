@@ -44,6 +44,16 @@
 // they pinned. Table payload endpoints are capped by -max-table-bytes
 // (default 8 MiB) and reply 413 with code "too_large" beyond it.
 //
+// Durability: with -data-dir the store writes every catalog mutation
+// to a CRC-checked write-ahead log (group-committed within
+// -wal-sync-window) and periodically checkpoints tables into immutable
+// columnar segment files (-checkpoint-interval / -checkpoint-bytes).
+// On restart the server loads the last checkpoint, replays the WAL
+// tail, and resumes at the recovered generation; kill -9 loses at most
+// the unsynced group-commit window. SIGINT/SIGTERM shut down
+// gracefully, flushing and fsyncing the log. Without -data-dir the
+// store is purely in-memory, as before.
+//
 // Run `wtq-server -demo` to start with the paper's Figure 1 olympics
 // table pre-registered; see examples/server for a curl transcript.
 package main
@@ -56,12 +66,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"nlexplain"
@@ -343,12 +356,19 @@ func (s *server) handleRegisterTable(w http.ResponseWriter, r *http.Request) {
 		var t *nlexplain.Table
 		t, err = nlexplain.TableFromCSV(req.Name, strings.NewReader(req.CSV))
 		if err == nil {
-			info = s.engine.RegisterTable(t)
+			info, err = s.engine.RegisterTable(t)
 		}
 	} else {
 		info, err = s.engine.RegisterRaw(req.Name, req.Columns, req.Rows)
 	}
 	if err != nil {
+		// A WAL write failure is a server fault, not a payload problem:
+		// route it through the pipeline mapping (500/internal) instead of
+		// blaming the client with a 400.
+		if errors.Is(err, nlexplain.ErrInternal) {
+			writePipelineError(w, err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, codeBadRequest, "registering table: %v", err)
 		return
 	}
@@ -404,7 +424,11 @@ func (s *server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 // synchronously invalidate its cached results.
 func (s *server) handleDropTable(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	info, ok := s.engine.DropTable(name)
+	info, ok, err := s.engine.DropTable(name)
+	if err != nil {
+		writePipelineError(w, err)
+		return
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, codeUnknownTable, "unknown table: %q", name)
 		return
@@ -568,17 +592,28 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query timeout (0 = default 10s)")
 	storeBudget := flag.Int64("store-budget", 0, "table store byte budget; over it cold tables' derived indexes are evicted (0 = unlimited)")
 	maxTableBytes := flag.Int64("max-table-bytes", defaultMaxTableBytes, "max table payload body size in bytes (413 beyond it)")
+	dataDir := flag.String("data-dir", "", "durable data directory (WAL + checkpointed segments); empty = in-memory only")
+	walSyncWindow := flag.Duration("wal-sync-window", 0, "WAL group-commit window (0 = default 2ms, negative = fsync every mutation)")
+	checkpointInterval := flag.Duration("checkpoint-interval", 0, "checkpoint cadence (0 = default 30s, negative = size-triggered only)")
+	checkpointBytes := flag.Int64("checkpoint-bytes", 0, "active WAL bytes that force an early checkpoint (0 = default 8 MiB, negative = off)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	demo := flag.Bool("demo", false, "pre-register the olympics demo table")
 	flag.Parse()
 
-	e := nlexplain.NewEngine(nlexplain.EngineOptions{
-		Workers:         *workers,
-		CacheSize:       *cacheSize,
-		QueryTimeout:    *timeout,
-		StoreByteBudget: *storeBudget,
-		ExecWorkers:     *execWorkers,
+	e, err := nlexplain.OpenEngine(nlexplain.EngineOptions{
+		Workers:            *workers,
+		CacheSize:          *cacheSize,
+		QueryTimeout:       *timeout,
+		StoreByteBudget:    *storeBudget,
+		ExecWorkers:        *execWorkers,
+		DataDir:            *dataDir,
+		WALSyncWindow:      *walSyncWindow,
+		CheckpointInterval: *checkpointInterval,
+		CheckpointBytes:    *checkpointBytes,
 	})
+	if err != nil {
+		log.Fatalf("opening engine: %v", err)
+	}
 	if *demo {
 		if err := demoTable(e); err != nil {
 			log.Fatalf("registering demo table: %v", err)
@@ -597,20 +632,51 @@ func main() {
 		if err != nil {
 			log.Fatalf("reading %s: %v", path, err)
 		}
-		info := e.RegisterTable(t)
+		info, err := e.RegisterTable(t)
+		if err != nil {
+			log.Fatalf("registering %s: %v", path, err)
+		}
 		log.Printf("registered table %q (%d rows, version %s)", info.Name, info.Rows, info.Version)
 	}
 
+	// Listen explicitly (rather than ListenAndServe) so "-addr :0" logs
+	// the resolved port — the crash-recovery harness depends on it.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           newMux(e, muxConfig{maxTableBytes: *maxTableBytes, pprof: *pprofFlag}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	if *pprofFlag {
-		log.Printf("pprof enabled on %s/debug/pprof/", *addr)
+		log.Printf("pprof enabled on %s/debug/pprof/", ln.Addr())
 	}
-	log.Printf("wtq-server listening on %s (%d tables)", *addr, len(e.Tables()))
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+	if *dataDir != "" {
+		log.Printf("durable store in %s", *dataDir)
+	}
+	log.Printf("wtq-server listening on %s (%d tables)", ln.Addr(), len(e.Tables()))
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case sig := <-stop:
+		log.Printf("received %s, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		cancel()
+	}
+	// Close flushes and fsyncs the WAL tail and stops the checkpointer,
+	// so a clean shutdown restarts with an empty replay.
+	if err := e.Close(); err != nil {
+		log.Fatalf("closing engine: %v", err)
 	}
 }

@@ -68,6 +68,25 @@ type Options struct {
 	// current setting untouched (default GOMAXPROCS); 1 forces serial
 	// execution.
 	ExecWorkers int
+	// DataDir enables durable storage: the table store writes every
+	// catalog mutation to a write-ahead log under this directory and
+	// compacts it into columnar segment checkpoints, so registered
+	// tables survive restarts (Open recovers them). Empty means
+	// in-memory only.
+	DataDir string
+	// WALSyncWindow is the WAL group-commit window: mutations landing
+	// within it share one fsync. 0 selects the store default (2ms);
+	// negative syncs every mutation individually. Ignored without
+	// DataDir.
+	WALSyncWindow time.Duration
+	// CheckpointInterval is the periodic checkpoint cadence (0 = store
+	// default of 30s; negative disables the timer). Ignored without
+	// DataDir.
+	CheckpointInterval time.Duration
+	// CheckpointBytes triggers a checkpoint when the active WAL grows
+	// past it (0 = store default of 8MiB; negative disables). Ignored
+	// without DataDir.
+	CheckpointBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -135,18 +154,50 @@ type Engine struct {
 	met *metrics
 }
 
-// New builds an Engine with the given options (zero value = defaults).
+// New builds an in-memory Engine with the given options (zero value =
+// defaults). It panics if opts.DataDir is set and recovery fails; use
+// Open to handle durable startup errors.
 func New(opts Options) *Engine {
+	e, err := Open(opts)
+	if err != nil {
+		panic(fmt.Sprintf("engine: %v", err))
+	}
+	return e
+}
+
+// Open builds an Engine. With Options.DataDir set, the table store
+// opens its durability layer first — loading the latest checkpoint,
+// replaying the WAL tail and resuming at the recovered generation —
+// so the engine's caches, memory accounting and per-snapshot parsers
+// all build over the recovered catalog. The error is non-nil only for
+// durable startup failures (recovery refuses corrupt logs/segments).
+func Open(opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
 	if opts.ExecWorkers > 0 {
 		plan.SetExecWorkers(opts.ExecWorkers)
 	}
+	sopts := store.Options{
+		Shards:     opts.StoreShards,
+		ByteBudget: opts.StoreByteBudget,
+	}
+	var st *store.Store
+	if opts.DataDir != "" {
+		var err error
+		st, err = store.Open(sopts, store.DurableOptions{
+			Dir:                opts.DataDir,
+			SyncWindow:         opts.WALSyncWindow,
+			CheckpointInterval: opts.CheckpointInterval,
+			CheckpointBytes:    opts.CheckpointBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		st = store.New(sopts)
+	}
 	e := &Engine{
-		opts: opts,
-		store: store.New(store.Options{
-			Shards:     opts.StoreShards,
-			ByteBudget: opts.StoreByteBudget,
-		}),
+		opts:       opts,
+		store:      st,
 		asts:       newLRU(opts.CacheSize),
 		plans:      newLRU(opts.CacheSize),
 		results:    newLRU(opts.CacheSize),
@@ -174,8 +225,17 @@ func New(opts Options) *Engine {
 		}
 		e.purgeVersion(ev.Old.Version())
 	})
-	return e
+	return e, nil
 }
+
+// Close flushes and closes the store's durability layer: a final
+// checkpoint compacts the WAL, then the log is closed. Mutations
+// after Close fail; queries keep working against the resident
+// catalog. In-memory engines close as a no-op.
+func (e *Engine) Close() error { return e.store.Close() }
+
+// Checkpoint forces a durability checkpoint now (no-op in-memory).
+func (e *Engine) Checkpoint() error { return e.store.Checkpoint() }
 
 // Store exposes the engine's versioned table store (stats, direct
 // snapshot access for tests and embedders).
@@ -208,9 +268,16 @@ func infoOf(s *store.Snapshot) TableInfo {
 
 // RegisterTable adds (or replaces) a pre-built table under its own
 // name and returns its registry info. Replacing a name synchronously
-// purges the displaced version's entries from every cache.
-func (e *Engine) RegisterTable(t *table.Table) TableInfo {
-	return infoOf(e.store.Register(t))
+// purges the displaced version's entries from every cache. On a
+// durable engine the registration is fsync-durable before it returns;
+// a failure to persist fails the mutation (nothing installed) with an
+// ErrInternal-classed error.
+func (e *Engine) RegisterTable(t *table.Table) (TableInfo, error) {
+	snap, err := e.store.Register(t)
+	if err != nil {
+		return TableInfo{}, e.mapStoreErr(err)
+	}
+	return infoOf(snap), nil
 }
 
 // RegisterRaw builds a table from a header and raw rows (cells are
@@ -220,7 +287,19 @@ func (e *Engine) RegisterRaw(name string, columns []string, rows [][]string) (Ta
 	if err != nil {
 		return TableInfo{}, err
 	}
-	return e.RegisterTable(t), nil
+	return e.RegisterTable(t)
+}
+
+// mapStoreErr classifies store mutation failures for transport: a
+// durability failure is a server-side fault (5xx), not a client
+// mistake, so it is wrapped as ErrInternal while staying matchable as
+// store.ErrDurability.
+func (e *Engine) mapStoreErr(err error) error {
+	if errors.Is(err, store.ErrDurability) {
+		e.met.errors.Inc()
+		return fmt.Errorf("%w: %w", ErrInternal, err)
+	}
+	return err
 }
 
 // AppendRows installs a copy-on-write successor of a registered table
@@ -234,7 +313,7 @@ func (e *Engine) AppendRows(name string, rows [][]string) (TableInfo, error) {
 			e.met.errors.Inc()
 			return TableInfo{}, fmt.Errorf("%w: %q", ErrUnknownTable, name)
 		}
-		return TableInfo{}, err
+		return TableInfo{}, e.mapStoreErr(err)
 	}
 	return infoOf(snap), nil
 }
@@ -242,13 +321,17 @@ func (e *Engine) AppendRows(name string, rows [][]string) (TableInfo, error) {
 // DropTable removes a table from the store, returning its final
 // registry info and whether it existed. Its cache entries are purged
 // synchronously; snapshots already pinned by in-flight queries stay
-// readable.
-func (e *Engine) DropTable(name string) (TableInfo, bool) {
-	snap, ok := e.store.Drop(name)
-	if !ok {
-		return TableInfo{}, false
+// readable. On a durable engine the drop is fsync-durable before it
+// returns.
+func (e *Engine) DropTable(name string) (TableInfo, bool, error) {
+	snap, ok, err := e.store.Drop(name)
+	if err != nil {
+		return TableInfo{}, false, e.mapStoreErr(err)
 	}
-	return infoOf(snap), true
+	if !ok {
+		return TableInfo{}, false, nil
+	}
+	return infoOf(snap), true, nil
 }
 
 // Table returns a registered table and its version.

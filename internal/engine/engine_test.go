@@ -154,7 +154,10 @@ func TestReRegisterInvalidatesCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	info := e.RegisterTable(updated)
+	info, err := e.RegisterTable(updated)
+	if err != nil {
+		t.Fatalf("RegisterTable: %v", err)
+	}
 	if _, v, _ := e.Table("olympics"); v != info.Version {
 		t.Fatalf("registry version mismatch")
 	}

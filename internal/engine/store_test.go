@@ -76,7 +76,10 @@ func TestStoreIdempotentReRegisterKeepsCaches(t *testing.T) {
 	if _, err := e.Explain(ctx, "olympics", q); err != nil {
 		t.Fatal(err)
 	}
-	info := e.RegisterTable(olympics(t)) // same content, same version
+	info, err := e.RegisterTable(olympics(t)) // same content, same version
+	if err != nil {
+		t.Fatalf("RegisterTable: %v", err)
+	}
 	s := e.Stats()
 	if s.ResultCache != 1 || s.PlanCacheSize != 1 {
 		t.Fatalf("idempotent re-register purged caches: %+v", s)
@@ -141,8 +144,8 @@ func TestStoreMutationLifecycle(t *testing.T) {
 		t.Error("ragged append succeeded")
 	}
 
-	dropped, ok := e.DropTable("olympics")
-	if !ok || dropped.Name != "olympics" {
+	dropped, ok, err := e.DropTable("olympics")
+	if err != nil || !ok || dropped.Name != "olympics" {
 		t.Fatalf("DropTable = %+v, %v", dropped, ok)
 	}
 	if s := e.Stats(); s.ResultCache != 0 || s.Tables != 0 {
@@ -151,7 +154,7 @@ func TestStoreMutationLifecycle(t *testing.T) {
 	if _, err := e.Explain(ctx, "olympics", q); !errors.Is(err, ErrUnknownTable) {
 		t.Errorf("explain after drop: err = %v, want ErrUnknownTable", err)
 	}
-	if _, ok := e.DropTable("olympics"); ok {
+	if _, ok, _ := e.DropTable("olympics"); ok {
 		t.Error("second drop succeeded")
 	}
 }

@@ -58,9 +58,20 @@ var wantNames = []string{
 	"engine.sheds",
 	"engine.timeouts",
 	"store.bytes",
+	"store.checkpoint.bytes",
+	"store.checkpoint.count",
+	"store.checkpoint.errors",
+	"store.checkpoint.generation",
+	"store.checkpoint.latency.seconds",
 	"store.evictions",
 	"store.generation",
 	"store.tables",
+	"store.wal.appended.bytes",
+	"store.wal.appends",
+	"store.wal.replayed.records",
+	"store.wal.size.bytes",
+	"store.wal.syncs",
+	"store.wal.truncated.bytes",
 }
 
 var nameRE = regexp.MustCompile(`^[a-z0-9_]+(\.[a-z0-9_]+)*$`)

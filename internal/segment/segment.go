@@ -1,0 +1,259 @@
+// Package segment implements the immutable columnar segment files and
+// the manifest that the store's checkpointer compacts its write-ahead
+// log into. One segment file holds one table snapshot: raw cell text
+// stored column-major behind a per-column dictionary (first-appearance
+// order), so decoding hands back row slices whose repeated cells share
+// one backing string — the same interning the in-memory table build
+// performs — and deserializes straight into the typed column vectors
+// via table.New.
+//
+// Layout:
+//
+//	"WTQSEG1\n" <crc32c uint32 LE over body> <body>
+//
+// body, all integers uvarint, strings length-prefixed:
+//
+//	schema(=1) name gen version
+//	ncols col... nrows
+//	per column: dictLen dict... then nrows dictionary indexes
+//
+// Files are written atomically (tmp + fsync + rename + dir fsync) and
+// never modified after that, so a reader either sees a whole valid
+// segment or none at all; the checksum turns silent disk damage into
+// a hard recovery error instead of a wrong table.
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// ErrCorrupt reports a segment file whose magic, checksum or framing
+// is damaged. Recovery treats it as fatal: a checkpointed table that
+// cannot be read back intact must not be silently dropped.
+var ErrCorrupt = errors.New("segment: corrupt file")
+
+const (
+	magic      = "WTQSEG1\n"
+	schemaSeg  = 1
+	maxStrings = 1 << 30 // sanity bound on any length field
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Meta describes the table snapshot a segment holds.
+type Meta struct {
+	Name    string
+	Gen     uint64 // store generation of the snapshot
+	Version string // content-hash version of the snapshot
+	Columns []string
+	Rows    int
+}
+
+// Write encodes one table snapshot into path atomically. rows is raw
+// cell text, row-major, each row len(m.Columns) wide; the slices are
+// read, never retained.
+func Write(path string, m Meta, rows [][]string) error {
+	body := appendBody(nil, m, rows)
+	buf := make([]byte, 0, len(magic)+4+len(body))
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(body, castagnoli))
+	buf = append(buf, body...)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+func appendBody(b []byte, m Meta, rows [][]string) []byte {
+	b = binary.AppendUvarint(b, schemaSeg)
+	b = appendString(b, m.Name)
+	b = binary.AppendUvarint(b, m.Gen)
+	b = appendString(b, m.Version)
+	b = binary.AppendUvarint(b, uint64(len(m.Columns)))
+	for _, c := range m.Columns {
+		b = appendString(b, c)
+	}
+	b = binary.AppendUvarint(b, uint64(len(rows)))
+	// Column-major with a per-column first-appearance dictionary.
+	idx := make([]uint64, len(rows))
+	dictIdx := make(map[string]uint64)
+	for c := range m.Columns {
+		clear(dictIdx)
+		var dict []string
+		for r, row := range rows {
+			cell := row[c]
+			di, ok := dictIdx[cell]
+			if !ok {
+				di = uint64(len(dict))
+				dict = append(dict, cell)
+				dictIdx[cell] = di
+			}
+			idx[r] = di
+		}
+		b = binary.AppendUvarint(b, uint64(len(dict)))
+		for _, s := range dict {
+			b = appendString(b, s)
+		}
+		for _, di := range idx {
+			b = binary.AppendUvarint(b, di)
+		}
+	}
+	return b
+}
+
+// Read decodes the segment file at path, verifying the checksum. The
+// returned rows are row-major raw cell text; cells repeating a value
+// within a column share one backing string (the dictionary entry).
+func Read(path string) (Meta, [][]string, error) {
+	var m Meta
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return m, nil, err
+	}
+	if len(data) < len(magic)+4 || string(data[:len(magic)]) != magic {
+		return m, nil, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, path)
+	}
+	sum := binary.LittleEndian.Uint32(data[len(magic):])
+	body := data[len(magic)+4:]
+	if crc32.Checksum(body, castagnoli) != sum {
+		return m, nil, fmt.Errorf("%w: %s: checksum mismatch", ErrCorrupt, path)
+	}
+	d := decoder{buf: body, path: path}
+	if schema := d.uvarint(); schema != schemaSeg {
+		return m, nil, fmt.Errorf("%w: %s: unknown schema %d", ErrCorrupt, path, schema)
+	}
+	m.Name = d.string()
+	m.Gen = d.uvarint()
+	m.Version = d.string()
+	ncols := int(d.count())
+	m.Columns = make([]string, 0, ncols)
+	for i := 0; i < ncols && d.err == nil; i++ {
+		m.Columns = append(m.Columns, d.string())
+	}
+	nrows := int(d.count())
+	m.Rows = nrows
+	if d.err != nil {
+		return m, nil, d.fail()
+	}
+	rows := make([][]string, nrows)
+	cells := make([]string, nrows*ncols)
+	for r := range rows {
+		rows[r] = cells[r*ncols : (r+1)*ncols : (r+1)*ncols]
+	}
+	for c := 0; c < ncols; c++ {
+		dictLen := int(d.count())
+		dict := make([]string, 0, dictLen)
+		for i := 0; i < dictLen && d.err == nil; i++ {
+			dict = append(dict, d.string())
+		}
+		for r := 0; r < nrows; r++ {
+			di := d.uvarint()
+			if d.err != nil {
+				break
+			}
+			if di >= uint64(len(dict)) {
+				return m, nil, fmt.Errorf("%w: %s: dictionary index %d out of range", ErrCorrupt, path, di)
+			}
+			rows[r][c] = dict[di]
+		}
+		if d.err != nil {
+			return m, nil, d.fail()
+		}
+	}
+	if d.err != nil {
+		return m, nil, d.fail()
+	}
+	if len(d.buf) != 0 {
+		return m, nil, fmt.Errorf("%w: %s: %d trailing bytes", ErrCorrupt, path, len(d.buf))
+	}
+	return m, rows, nil
+}
+
+// decoder walks a segment body, latching the first framing error.
+type decoder struct {
+	buf  []byte
+	path string
+	err  error
+}
+
+func (d *decoder) fail() error {
+	return fmt.Errorf("%w: %s: %v", ErrCorrupt, d.path, d.err)
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = errors.New("truncated uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+// count reads a uvarint that sizes an allocation, bounding it.
+func (d *decoder) count() uint64 {
+	v := d.uvarint()
+	if d.err == nil && v > maxStrings {
+		d.err = fmt.Errorf("implausible count %d", v)
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)) {
+		d.err = fmt.Errorf("string of %d bytes exceeds remaining %d", n, len(d.buf))
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// syncDir fsyncs a directory so renames into it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

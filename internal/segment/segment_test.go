@@ -1,0 +1,150 @@
+package segment
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nlexplain/internal/table"
+)
+
+var testMeta = Meta{
+	Name:    "olympics",
+	Gen:     42,
+	Version: "00deadbeef001234",
+	Columns: []string{"Nation", "City", "Year"},
+}
+
+var testRows = [][]string{
+	{"Greece", "Athens", "1896"},
+	{"France", "Paris", "1900"},
+	{"Greece", "Athens", "2004"},
+	{"Japan", "Tokyo", "1964"},
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg-001.seg")
+	if err := Write(path, testMeta, testRows); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	m, rows, err := Read(path)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if m.Name != testMeta.Name || m.Gen != testMeta.Gen || m.Version != testMeta.Version {
+		t.Fatalf("meta round trip: %+v", m)
+	}
+	if len(m.Columns) != 3 || m.Columns[1] != "City" {
+		t.Fatalf("columns round trip: %v", m.Columns)
+	}
+	if m.Rows != len(testRows) || len(rows) != len(testRows) {
+		t.Fatalf("rows = %d/%d, want %d", m.Rows, len(rows), len(testRows))
+	}
+	for r := range testRows {
+		for c := range testRows[r] {
+			if rows[r][c] != testRows[r][c] {
+				t.Fatalf("cell (%d,%d) = %q, want %q", r, c, rows[r][c], testRows[r][c])
+			}
+		}
+	}
+	// The decoded rows must build a valid table.
+	tb, err := table.New(m.Name, m.Columns, rows)
+	if err != nil {
+		t.Fatalf("table.New over decoded rows: %v", err)
+	}
+	if tb.NumRows() != 4 || tb.Raw(3, 1) != "Tokyo" {
+		t.Fatalf("rebuilt table wrong: %d rows", tb.NumRows())
+	}
+}
+
+func TestSegmentEmptyTable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.seg")
+	m := Meta{Name: "empty", Gen: 1, Version: "v", Columns: []string{"A", "B"}}
+	if err := Write(path, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, rows, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 0 || len(rows) != 0 || len(got.Columns) != 2 {
+		t.Fatalf("empty round trip: %+v, %d rows", got, len(rows))
+	}
+}
+
+func TestSegmentChecksumDetectsFlip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.seg")
+	if err := Write(path, testMeta, testRows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{len(magic) + 4, len(data) / 2, len(data) - 1} {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x01
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Read(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: err=%v, want ErrCorrupt", off, err)
+		}
+	}
+	// Truncation must also be rejected.
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Read(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated segment: err=%v, want ErrCorrupt", err)
+	}
+	if err := os.WriteFile(path, []byte("nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Read(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m, ok, err := LoadManifest(dir)
+	if err != nil || ok || m != nil {
+		t.Fatalf("fresh dir: %v %v %v", m, ok, err)
+	}
+	want := &Manifest{
+		Gen:    99,
+		WALSeq: 7,
+		Tables: []TableRef{
+			{Name: "olympics", File: "seg-0000000000000063-0000.seg", Gen: 98, Version: "ab", Rows: 4, Cols: 3},
+		},
+	}
+	if err := WriteManifest(dir, want); err != nil {
+		t.Fatalf("WriteManifest: %v", err)
+	}
+	got, ok, err := LoadManifest(dir)
+	if err != nil || !ok {
+		t.Fatalf("LoadManifest: %v %v", ok, err)
+	}
+	if got.Gen != 99 || got.WALSeq != 7 || len(got.Tables) != 1 || got.Tables[0].File != want.Tables[0].File {
+		t.Fatalf("manifest round trip: %+v", got)
+	}
+	// Overwrite is atomic-replace, old content fully gone.
+	want.Gen = 100
+	want.Tables = nil
+	if err := WriteManifest(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = LoadManifest(dir)
+	if err != nil || got.Gen != 100 || len(got.Tables) != 0 {
+		t.Fatalf("manifest rewrite: %+v %v", got, err)
+	}
+	// Torn manifest bytes are a hard error, not a silent fresh start.
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("{\"schema\":1,"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadManifest(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn manifest: err=%v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,596 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nlexplain/internal/metric"
+	"nlexplain/internal/segment"
+	"nlexplain/internal/table"
+	"nlexplain/internal/wal"
+)
+
+// ErrDurability wraps any write-ahead-log failure surfaced by a
+// mutation: when it is returned, the mutation was NOT applied — a
+// mutation is acknowledged only after its record is fsync-durable.
+// Match with errors.Is.
+var ErrDurability = errors.New("store: durability failure")
+
+// DurableOptions configures the persistence layer a Store opened with
+// Open keeps under its data directory: an append-only write-ahead log
+// of catalog mutations plus periodic checkpoints compacting the log
+// into immutable columnar segment files (see internal/wal and
+// internal/segment).
+type DurableOptions struct {
+	// Dir is the data directory, created if absent. Required.
+	Dir string
+	// SyncWindow is the WAL group-commit window: mutations landing
+	// within it share one fsync. 0 selects the 2ms default; negative
+	// means fsync before every mutation returns.
+	SyncWindow time.Duration
+	// CheckpointInterval is the periodic checkpoint cadence. 0 selects
+	// the 30s default; negative disables the timer (checkpoints then
+	// run only on the size trigger, Checkpoint calls and Close).
+	CheckpointInterval time.Duration
+	// CheckpointBytes triggers a checkpoint when the active WAL grows
+	// past it. 0 selects the 8MiB default; negative disables the
+	// trigger.
+	CheckpointBytes int64
+}
+
+func (o DurableOptions) withDefaults() DurableOptions {
+	if o.SyncWindow == 0 {
+		o.SyncWindow = 2 * time.Millisecond
+	}
+	if o.CheckpointInterval == 0 {
+		o.CheckpointInterval = 30 * time.Second
+	}
+	if o.CheckpointBytes == 0 {
+		o.CheckpointBytes = 8 << 20
+	}
+	return o
+}
+
+// syncWindow is the window actually handed to the WAL (negative
+// configured values mean synchronous, i.e. zero).
+func (o DurableOptions) syncWindow() time.Duration {
+	if o.SyncWindow < 0 {
+		return 0
+	}
+	return o.SyncWindow
+}
+
+// Open builds a Store backed by the data directory in dopts: it loads
+// the latest checkpoint manifest, restores every live segment
+// (re-verifying each table's content hash against the recorded
+// version), replays the WAL tail with checksum verification — a torn
+// final record is truncated, damage before the end of a log is a hard
+// error — and resumes the generation counter past everything
+// recovered. Every subsequent catalog mutation is fsync-durable
+// before it returns.
+func Open(opts Options, dopts DurableOptions) (*Store, error) {
+	if dopts.Dir == "" {
+		return nil, errors.New("store: Open requires DurableOptions.Dir")
+	}
+	st := New(opts)
+	if err := os.MkdirAll(dopts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &durability{
+		st:   st,
+		dir:  dopts.Dir,
+		opts: dopts.withDefaults(),
+		kick: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if err := d.recover(); err != nil {
+		return nil, fmt.Errorf("store: recovering %s: %w", dopts.Dir, err)
+	}
+	st.dur = d
+	go d.loop()
+	return st, nil
+}
+
+// durability is the persistence side of a Store: the active WAL, the
+// checkpointer, and recovery.
+type durability struct {
+	st   *Store
+	dir  string
+	opts DurableOptions
+
+	// logMu orders mutations against checkpoint rotation: every
+	// mutation holds the read side from logging its record until the
+	// new snapshot is installed (see log), and rotation takes the
+	// write side — so once a checkpoint has rotated, every record in
+	// the sealed logs has its effect installed and the capture that
+	// follows cannot miss an acknowledged mutation.
+	logMu  sync.RWMutex
+	w      *wal.WAL
+	walSeq uint64
+
+	ckptMu       sync.Mutex // serializes checkpoints
+	lastManifest *segment.Manifest
+
+	kick chan struct{}
+	quit chan struct{}
+	done chan struct{}
+
+	// Cumulative WAL counters carried across rotations (the active
+	// WAL's own counters reset with each new file).
+	accAppends       atomic.Uint64
+	accAppendedBytes atomic.Uint64
+	accSyncs         atomic.Uint64
+
+	replayedRecords atomic.Uint64
+	truncatedBytes  atomic.Uint64
+
+	ckptCount  atomic.Uint64
+	ckptErrors atomic.Uint64
+	ckptBytes  atomic.Int64  // live segment bytes at last checkpoint
+	ckptGen    atomic.Uint64 // generation captured by last checkpoint
+	ckptLat    atomic.Pointer[metric.Histogram]
+}
+
+func (d *durability) walPath(seq uint64) string {
+	return filepath.Join(d.dir, fmt.Sprintf("wal-%016x.log", seq))
+}
+
+// log appends one mutation record and blocks until it is
+// fsync-durable. On success it returns a release closure the caller
+// must invoke after installing the mutation's effect: the read lock
+// held in between is what lets checkpoint rotation wait for in-flight
+// installs (see logMu).
+func (d *durability) log(tag byte, payload []byte) (release func(), err error) {
+	d.logMu.RLock()
+	w := d.w
+	if err := w.Append(tag, payload); err != nil {
+		d.logMu.RUnlock()
+		return nil, err
+	}
+	if d.opts.CheckpointBytes > 0 && w.Size() >= d.opts.CheckpointBytes {
+		select {
+		case d.kick <- struct{}{}:
+		default:
+		}
+	}
+	return d.logMu.RUnlock, nil
+}
+
+// listWALSeqs returns the sequence numbers of the wal-*.log files in
+// the data dir, ascending.
+func (d *durability) listWALSeqs() ([]uint64, error) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 16, 64)
+		if err != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// recover rebuilds the catalog from the data directory: manifest →
+// segments → WAL tail, in that order, gen-gated so records whose
+// effect is already compacted into a segment replay as no-ops.
+func (d *durability) recover() error {
+	man, ok, err := segment.LoadManifest(d.dir)
+	if err != nil {
+		return err
+	}
+	startSeq := uint64(1)
+	if ok {
+		for _, ref := range man.Tables {
+			meta, rows, err := segment.Read(filepath.Join(d.dir, ref.File))
+			if err != nil {
+				return err
+			}
+			if meta.Name != ref.Name || meta.Gen != ref.Gen || meta.Version != ref.Version ||
+				meta.Rows != ref.Rows || len(meta.Columns) != ref.Cols {
+				return fmt.Errorf("%w: %s does not match its manifest entry for %q",
+					segment.ErrCorrupt, ref.File, ref.Name)
+			}
+			if err := d.st.restore(meta.Name, meta.Columns, rows, meta.Gen, meta.Version); err != nil {
+				return err
+			}
+		}
+		d.st.raiseGen(man.Gen)
+		d.lastManifest = man
+		startSeq = man.WALSeq
+	}
+
+	seqs, err := d.listWALSeqs()
+	if err != nil {
+		return err
+	}
+	var replay []uint64
+	for _, seq := range seqs {
+		if seq < startSeq {
+			// Compacted log a crashed checkpoint didn't finish
+			// deleting: everything in it is in the segments already.
+			os.Remove(d.walPath(seq))
+			continue
+		}
+		replay = append(replay, seq)
+	}
+	active := startSeq
+	if n := len(replay); n > 0 {
+		active = replay[n-1]
+		// All logs before the active tail were sealed by a rotation;
+		// damage anywhere in them — including a torn tail — cannot be
+		// an interrupted final append and is fatal.
+		for _, seq := range replay[:n-1] {
+			res, err := wal.Scan(d.walPath(seq))
+			if err != nil {
+				return err
+			}
+			if res.Truncated > 0 {
+				return fmt.Errorf("%w: %d torn bytes in sealed log %s",
+					wal.ErrCorrupt, res.Truncated, d.walPath(seq))
+			}
+			if err := d.apply(res.Records); err != nil {
+				return err
+			}
+		}
+	}
+	w, res, err := wal.Open(d.walPath(active), d.opts.syncWindow())
+	if err != nil {
+		return err
+	}
+	if err := d.apply(res.Records); err != nil {
+		w.Close()
+		return err
+	}
+	d.truncatedBytes.Add(uint64(res.Truncated))
+	d.w = w
+	d.walSeq = active
+	return nil
+}
+
+// apply replays decoded WAL records into the store, gen-gated.
+func (d *durability) apply(recs []wal.Record) error {
+	for _, rec := range recs {
+		if err := d.st.applyWALRecord(rec); err != nil {
+			return err
+		}
+		d.replayedRecords.Add(1)
+	}
+	return nil
+}
+
+// loop runs the periodic and size-triggered checkpoints.
+func (d *durability) loop() {
+	defer close(d.done)
+	var tick <-chan time.Time
+	if d.opts.CheckpointInterval > 0 {
+		t := time.NewTicker(d.opts.CheckpointInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-d.quit:
+			return
+		case <-tick:
+		case <-d.kick:
+		}
+		d.checkpoint() // failure is counted; the WAL stays authoritative
+	}
+}
+
+// checkpoint compacts the WAL into segment files: rotate the log,
+// capture every live snapshot (reusing unchanged segments), persist a
+// new manifest, then garbage-collect the files it obsoleted. On any
+// error the previous manifest stays authoritative and nothing is
+// deleted — recovery then simply replays more WAL.
+func (d *durability) checkpoint() error {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	err := d.checkpointLocked()
+	if err != nil {
+		d.ckptErrors.Add(1)
+	}
+	return err
+}
+
+func (d *durability) checkpointLocked() error {
+	start := time.Now()
+
+	// Rotate. Taking the write side of logMu waits out every mutation
+	// between its log append and its install, so once we hold it, the
+	// sealed logs' records all have their effects visible to the
+	// capture below.
+	d.logMu.Lock()
+	old := d.w
+	newSeq := d.walSeq + 1
+	neww, _, err := wal.Open(d.walPath(newSeq), d.opts.syncWindow())
+	if err != nil {
+		d.logMu.Unlock()
+		return err
+	}
+	d.w = neww
+	d.walSeq = newSeq
+	d.logMu.Unlock()
+	err = old.Close()
+	st := old.Stats()
+	d.accAppends.Add(st.Appends)
+	d.accAppendedBytes.Add(st.AppendedBytes)
+	d.accSyncs.Add(st.Syncs)
+	if err != nil {
+		return err
+	}
+
+	// Capture. Segments for snapshots unchanged since the previous
+	// manifest are reused, not rewritten.
+	prev := make(map[string]segment.TableRef)
+	if d.lastManifest != nil {
+		for _, r := range d.lastManifest.Tables {
+			prev[r.Name] = r
+		}
+	}
+	snaps := d.st.Snapshots()
+	refs := make([]segment.TableRef, 0, len(snaps))
+	for _, snap := range snaps {
+		t := snap.Table()
+		ref := segment.TableRef{
+			Name:    t.Name(),
+			Gen:     snap.Gen(),
+			Version: snap.Version(),
+			Rows:    t.NumRows(),
+			Cols:    t.NumCols(),
+		}
+		if p, ok := prev[ref.Name]; ok && p.Gen == ref.Gen && p.Version == ref.Version {
+			ref.File = p.File
+		} else {
+			// Generations are unique per snapshot, so they name
+			// segment files unambiguously (table names can hold
+			// arbitrary bytes and cannot).
+			ref.File = fmt.Sprintf("seg-%016x.seg", ref.Gen)
+			m := segment.Meta{
+				Name:    ref.Name,
+				Gen:     ref.Gen,
+				Version: ref.Version,
+				Columns: t.Columns(),
+				Rows:    ref.Rows,
+			}
+			if err := segment.Write(filepath.Join(d.dir, ref.File), m, t.RawRows()); err != nil {
+				return err
+			}
+		}
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Name < refs[j].Name })
+	man := &segment.Manifest{Gen: d.st.gen.Load(), WALSeq: newSeq, Tables: refs}
+	if err := segment.WriteManifest(d.dir, man); err != nil {
+		return err
+	}
+	d.lastManifest = man
+
+	// GC: only now that the manifest is durable are the compacted
+	// logs and orphaned segments garbage.
+	live := make(map[string]bool, len(refs))
+	var segBytes int64
+	for _, r := range refs {
+		live[r.File] = true
+		if fi, err := os.Stat(filepath.Join(d.dir, r.File)); err == nil {
+			segBytes += fi.Size()
+		}
+	}
+	if ents, err := os.ReadDir(d.dir); err == nil {
+		for _, e := range ents {
+			name := e.Name()
+			switch {
+			case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+				seq, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 16, 64)
+				if perr == nil && seq < newSeq {
+					os.Remove(filepath.Join(d.dir, name))
+				}
+			case strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".seg") && !live[name]:
+				os.Remove(filepath.Join(d.dir, name))
+			}
+		}
+	}
+
+	d.ckptCount.Add(1)
+	d.ckptGen.Store(man.Gen)
+	d.ckptBytes.Store(segBytes)
+	if h := d.ckptLat.Load(); h != nil {
+		h.RecordDuration(time.Since(start))
+	}
+	return nil
+}
+
+// close runs a final checkpoint (the clean-shutdown flush) and closes
+// the active WAL. Mutations after close fail with ErrDurability.
+func (d *durability) close() error {
+	close(d.quit)
+	<-d.done
+	err := d.checkpoint()
+	d.logMu.Lock()
+	cerr := d.w.Close()
+	d.logMu.Unlock()
+	if err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// walStats sums the retired logs' counters with the active one's.
+func (d *durability) walStats() wal.Stats {
+	d.logMu.RLock()
+	cur := d.w.Stats()
+	d.logMu.RUnlock()
+	return wal.Stats{
+		Appends:       d.accAppends.Load() + cur.Appends,
+		AppendedBytes: d.accAppendedBytes.Load() + cur.AppendedBytes,
+		Syncs:         d.accSyncs.Load() + cur.Syncs,
+		Size:          cur.Size,
+	}
+}
+
+// restore installs a recovered snapshot under an explicit generation
+// and version, re-verifying the content hash so a damaged or
+// mismatched segment/record fails recovery instead of serving wrong
+// rows. Recovery-only: no WAL logging, no hooks fire.
+func (st *Store) restore(name string, columns []string, rows [][]string, gen uint64, version string) error {
+	t, err := table.New(name, columns, rows)
+	if err != nil {
+		return fmt.Errorf("rebuilding table %q: %w", name, err)
+	}
+	if v := contentVersion(t); v != version {
+		return fmt.Errorf("recovered table %q content hash %s does not match recorded version %s", name, v, version)
+	}
+	snap := &Snapshot{t: t, version: version, gen: gen, parser: st.opts.NewParser()}
+	sh := st.shardFor(name)
+	sh.mutMu.Lock()
+	st.install(sh, name, snap)
+	sh.mutMu.Unlock()
+	st.raiseGen(gen)
+	return nil
+}
+
+// dropRestored applies a replayed drop record: it removes the table
+// only when the resident generation is not newer than the dropped one
+// (a later re-registration may already be compacted into a segment).
+func (st *Store) dropRestored(name string, gen uint64) {
+	sh := st.shardFor(name)
+	sh.mutMu.Lock()
+	defer sh.mutMu.Unlock()
+	sh.mu.Lock()
+	old, ok := sh.tables[name]
+	if ok && old.gen <= gen {
+		delete(sh.tables, name)
+	} else {
+		ok = false
+	}
+	sh.mu.Unlock()
+	if ok {
+		st.release(old)
+	}
+	st.raiseGen(gen)
+}
+
+// raiseGen lifts the generation counter to at least gen, so mutations
+// after recovery continue strictly past every recovered generation.
+func (st *Store) raiseGen(gen uint64) {
+	for {
+		cur := st.gen.Load()
+		if cur >= gen || st.gen.CompareAndSwap(cur, gen) {
+			return
+		}
+	}
+}
+
+// peek reads the resident snapshot without touching the recency clock.
+func (st *Store) peek(name string) (*Snapshot, bool) {
+	sh := st.shardFor(name)
+	sh.mu.RLock()
+	s, ok := sh.tables[name]
+	sh.mu.RUnlock()
+	return s, ok
+}
+
+// applyWALRecord replays one record, gen-gated for idempotence:
+// effects already present (compacted into a restored segment, or from
+// an earlier replay pass) are skipped by comparing generations.
+// Recovery is single-goroutine; the locking inside the helpers only
+// mirrors normal mutation discipline.
+func (st *Store) applyWALRecord(rec wal.Record) error {
+	switch rec.Tag {
+	case tagRegister:
+		r, err := decodeRegister(rec.Data)
+		if err != nil {
+			return err
+		}
+		if cur, ok := st.peek(r.name); ok && cur.gen >= r.gen {
+			st.raiseGen(r.gen)
+			return nil
+		}
+		return st.restore(r.name, r.columns, r.rows, r.gen, r.version)
+	case tagAppend:
+		r, err := decodeAppend(rec.Data)
+		if err != nil {
+			return err
+		}
+		cur, ok := st.peek(r.name)
+		if !ok {
+			// The table was dropped before the checkpoint captured it;
+			// the drop record follows later in this log. Nothing to
+			// apply to.
+			st.raiseGen(r.gen)
+			return nil
+		}
+		if cur.gen >= r.gen {
+			st.raiseGen(r.gen)
+			return nil
+		}
+		nt, err := cur.t.Append(r.rows)
+		if err != nil {
+			return fmt.Errorf("replaying append to %q: %w", r.name, err)
+		}
+		if v := contentVersion(nt); v != r.version {
+			return fmt.Errorf("replayed append to %q content hash %s does not match recorded version %s", r.name, v, r.version)
+		}
+		snap := &Snapshot{t: nt, version: r.version, gen: r.gen, parser: st.opts.NewParser()}
+		sh := st.shardFor(r.name)
+		sh.mutMu.Lock()
+		st.install(sh, r.name, snap)
+		sh.mutMu.Unlock()
+		st.raiseGen(r.gen)
+		return nil
+	case tagDrop:
+		r, err := decodeDrop(rec.Data)
+		if err != nil {
+			return err
+		}
+		st.dropRestored(r.name, r.gen)
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown wal record tag 0x%02x", wal.ErrCorrupt, rec.Tag)
+	}
+}
+
+// Checkpoint forces a checkpoint now (no-op without durability).
+func (st *Store) Checkpoint() error {
+	if st.dur == nil {
+		return nil
+	}
+	return st.dur.checkpoint()
+}
+
+// Close flushes and closes the durability layer: a final checkpoint
+// compacts the WAL, then the log is closed. Mutations after Close
+// fail. Purely in-memory stores close as a no-op.
+func (st *Store) Close() error {
+	if st.dur == nil {
+		return nil
+	}
+	return st.dur.close()
+}
+
+// DataDir returns the data directory path, or "" for an in-memory
+// store.
+func (st *Store) DataDir() string {
+	if st.dur == nil {
+		return ""
+	}
+	return st.dur.dir
+}

@@ -162,6 +162,11 @@ type Store struct {
 	hooks  []func(Event)
 
 	evictMu sync.Mutex // serializes eviction scans
+
+	// dur is the persistence layer, nil for purely in-memory stores
+	// (New). Stores built by Open write every mutation to a WAL before
+	// installing it and compact into segment checkpoints (durable.go).
+	dur *durability
 }
 
 // New builds a Store (zero Options = defaults).
@@ -294,20 +299,30 @@ func (st *Store) release(old *Snapshot) {
 // Register installs t under its own name, replacing any existing
 // snapshot of that name, and returns the new snapshot. The replaced
 // snapshot (nil if none) is delivered to hooks before Register
-// returns.
-func (st *Store) Register(t *table.Table) *Snapshot {
+// returns. On a durable store the registration is fsync-durable
+// before it is acknowledged; an ErrDurability error means it was not
+// applied.
+func (st *Store) Register(t *table.Table) (*Snapshot, error) {
 	name := t.Name()
 	sh := st.shardFor(name)
 	sh.mutMu.Lock()
 	defer sh.mutMu.Unlock()
 	snap := st.newSnapshot(t)
+	if st.dur != nil {
+		payload := encodeRegister(name, snap.gen, snap.version, t.Columns(), t.RawRows())
+		release, err := st.dur.log(tagRegister, payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrDurability, err)
+		}
+		defer release()
+	}
 	old := st.install(sh, name, snap)
 	kind := Registered
 	if old != nil {
 		kind = Replaced
 	}
 	st.fire(Event{Kind: kind, Name: name, Old: old, New: snap})
-	return snap
+	return snap, nil
 }
 
 // Append builds the copy-on-write successor of a table with rows
@@ -329,6 +344,14 @@ func (st *Store) Append(name string, rows [][]string) (*Snapshot, error) {
 		return nil, err
 	}
 	snap := st.newSnapshot(nt)
+	if st.dur != nil {
+		payload := encodeAppend(name, snap.gen, snap.version, nt.NumCols(), rows)
+		release, err := st.dur.log(tagAppend, payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrDurability, err)
+		}
+		defer release()
+	}
 	st.install(sh, name, snap)
 	st.fire(Event{Kind: Replaced, Name: name, Old: cur, New: snap})
 	return snap, nil
@@ -336,21 +359,31 @@ func (st *Store) Append(name string, rows [][]string) (*Snapshot, error) {
 
 // Drop removes a table from the catalog, returning its final snapshot.
 // The drop is delivered to hooks before Drop returns; snapshots
-// already acquired stay readable.
-func (st *Store) Drop(name string) (*Snapshot, bool) {
+// already acquired stay readable. On a durable store the drop is
+// fsync-durable before it is acknowledged.
+func (st *Store) Drop(name string) (*Snapshot, bool, error) {
 	sh := st.shardFor(name)
 	sh.mutMu.Lock()
 	defer sh.mutMu.Unlock()
-	sh.mu.Lock()
+	sh.mu.RLock()
 	old, ok := sh.tables[name]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, false, nil
+	}
+	if st.dur != nil {
+		release, err := st.dur.log(tagDrop, encodeDrop(name, old.gen))
+		if err != nil {
+			return nil, false, fmt.Errorf("%w: %v", ErrDurability, err)
+		}
+		defer release()
+	}
+	sh.mu.Lock()
 	delete(sh.tables, name)
 	sh.mu.Unlock()
-	if !ok {
-		return nil, false
-	}
 	st.release(old)
 	st.fire(Event{Kind: Dropped, Name: name, Old: old})
-	return old, true
+	return old, true, nil
 }
 
 // derivedDelta is the memory hook installed on every resident table:
@@ -425,6 +458,75 @@ func (st *Store) RegisterMetrics(r *metric.Registry) {
 	r.GaugeFunc("generation", "monotonic snapshot-install counter", func() int64 {
 		return int64(st.gen.Load())
 	})
+
+	// Durability series. Registered unconditionally so the namespace
+	// is identical for memory-only and durable stores; without a data
+	// dir they scrape as zeros.
+	d := st.dur
+	r.CounterFunc("wal.appends", "wal records appended (catalog mutations logged)", func() uint64 {
+		if d == nil {
+			return 0
+		}
+		return d.walStats().Appends
+	})
+	r.CounterFunc("wal.appended.bytes", "framed bytes appended to the wal", func() uint64 {
+		if d == nil {
+			return 0
+		}
+		return d.walStats().AppendedBytes
+	})
+	r.CounterFunc("wal.syncs", "wal fsync batches (group commits)", func() uint64 {
+		if d == nil {
+			return 0
+		}
+		return d.walStats().Syncs
+	})
+	r.GaugeFunc("wal.size.bytes", "active wal file size", func() int64 {
+		if d == nil {
+			return 0
+		}
+		return d.walStats().Size
+	})
+	r.CounterFunc("wal.replayed.records", "wal records replayed at recovery", func() uint64 {
+		if d == nil {
+			return 0
+		}
+		return d.replayedRecords.Load()
+	})
+	r.CounterFunc("wal.truncated.bytes", "torn-tail bytes truncated at recovery", func() uint64 {
+		if d == nil {
+			return 0
+		}
+		return d.truncatedBytes.Load()
+	})
+	r.CounterFunc("checkpoint.count", "checkpoints completed", func() uint64 {
+		if d == nil {
+			return 0
+		}
+		return d.ckptCount.Load()
+	})
+	r.CounterFunc("checkpoint.errors", "checkpoints failed (wal stays authoritative)", func() uint64 {
+		if d == nil {
+			return 0
+		}
+		return d.ckptErrors.Load()
+	})
+	r.GaugeFunc("checkpoint.bytes", "live segment bytes at the last checkpoint", func() int64 {
+		if d == nil {
+			return 0
+		}
+		return d.ckptBytes.Load()
+	})
+	r.GaugeFunc("checkpoint.generation", "store generation captured by the last checkpoint", func() int64 {
+		if d == nil {
+			return 0
+		}
+		return int64(d.ckptGen.Load())
+	})
+	h := r.LatencyHistogram("checkpoint.latency.seconds", "checkpoint wall time (rotate, capture, manifest, gc)")
+	if d != nil {
+		d.ckptLat.Store(h)
+	}
 }
 
 // Stats is a scrape-ready snapshot of the store's gauges.

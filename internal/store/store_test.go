@@ -28,7 +28,10 @@ func TestStoreRegisterGetDrop(t *testing.T) {
 	if _, ok := st.Get("nope"); ok {
 		t.Fatal("Get on empty store succeeded")
 	}
-	snap := st.Register(mustTable(t, "a", 4))
+	snap, err := st.Register(mustTable(t, "a", 4))
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
 	if snap.Gen() == 0 {
 		t.Fatal("generation not assigned")
 	}
@@ -45,14 +48,14 @@ func TestStoreRegisterGetDrop(t *testing.T) {
 	if st.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", st.Len())
 	}
-	old, ok := st.Drop("a")
-	if !ok || old != snap {
+	old, ok, err := st.Drop("a")
+	if err != nil || !ok || old != snap {
 		t.Fatal("Drop did not return the final snapshot")
 	}
 	if _, ok := st.Get("a"); ok {
 		t.Fatal("Get succeeded after Drop")
 	}
-	if _, ok := st.Drop("a"); ok {
+	if _, ok, _ := st.Drop("a"); ok {
 		t.Fatal("second Drop succeeded")
 	}
 }
@@ -61,7 +64,10 @@ func TestStoreGenerationMonotonic(t *testing.T) {
 	st := New(Options{Shards: 4})
 	var last uint64
 	for i := range 20 {
-		snap := st.Register(mustTable(t, fmt.Sprintf("t%d", i%5), 3))
+		snap, err := st.Register(mustTable(t, fmt.Sprintf("t%d", i%5), 3))
+		if err != nil {
+			t.Fatalf("Register: %v", err)
+		}
 		if snap.Gen() <= last {
 			t.Fatalf("generation %d not monotonic after %d", snap.Gen(), last)
 		}

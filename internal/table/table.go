@@ -224,6 +224,12 @@ func (t *Table) Value(row, col int) Value { return t.rows[row][col] }
 // Raw returns the original cell text at (row, col).
 func (t *Table) Raw(row, col int) string { return t.raw[row][col] }
 
+// RawRows returns every record's original cell text, row-major. The
+// slices are shared with the table and must not be modified; the
+// durability layer reads them in place when framing WAL records and
+// segment files.
+func (t *Table) RawRows() [][]string { return t.raw }
+
 // CellValue returns the typed value a CellRef points at.
 func (t *Table) CellValue(c CellRef) Value { return t.rows[c.Row][c.Col] }
 

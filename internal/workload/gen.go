@@ -105,6 +105,8 @@ var Mixes = []Mix{
 		{"malformed", 25}, {"unknown_table", 10}, {"hog", 35}, {"tiny_timeout", 20}, {"lookup", 10}}},
 	{Name: "churn", About: "table lifecycle churn (register/append/drop) interleaved with queries", weights: []familyWeight{
 		{"churn", 40}, {"lookup", 25}, {"answer", 20}, {"aggregate", 15}}},
+	{Name: "durable", About: "mutation-heavy churn for durability runs (every churn op crosses the WAL)", weights: []familyWeight{
+		{"churn", 50}, {"lookup", 20}, {"answer", 20}, {"aggregate", 10}}},
 	{Name: "bigtable", About: "scan-heavy answer-only traffic over the generated big table (needs a sized corpus)", weights: []familyWeight{
 		{"big_filter", 40}, {"big_superlative", 30}, {"big_aggregate", 30}}},
 }

@@ -104,7 +104,14 @@ type InProc struct {
 
 // NewInProc wraps a fresh engine with the given options.
 func NewInProc(opts engine.Options) *InProc {
-	return &InProc{Engine: engine.New(opts), tables: make(map[string]*table.Table)}
+	return NewInProcEngine(engine.New(opts))
+}
+
+// NewInProcEngine wraps an already-built engine — the path wtq-bench
+// takes when -data-dir asks for a durable store, where construction
+// can fail and the caller owns error handling.
+func NewInProcEngine(e *engine.Engine) *InProc {
+	return &InProc{Engine: e, tables: make(map[string]*table.Table)}
 }
 
 // Name implements Target.
@@ -113,7 +120,9 @@ func (p *InProc) Name() string { return "inproc" }
 // RegisterTables implements Target.
 func (p *InProc) RegisterTables(ts []*table.Table) error {
 	for _, t := range ts {
-		p.Engine.RegisterTable(t)
+		if _, err := p.Engine.RegisterTable(t); err != nil {
+			return err
+		}
 		p.tables[t.Name()] = t
 	}
 	return nil
@@ -134,8 +143,9 @@ func (p *InProc) Metrics() (*MetricsSnapshot, error) {
 	return ParsePrometheus(&buf)
 }
 
-// Close implements Target.
-func (p *InProc) Close() error { return nil }
+// Close implements Target: it closes the engine, which on a durable
+// store flushes and fsyncs the WAL tail (a no-op in-memory).
+func (p *InProc) Close() error { return p.Engine.Close() }
 
 // Do implements Target.
 func (p *InProc) Do(ctx context.Context, op Op) Outcome {
@@ -221,6 +231,10 @@ func (p *InProc) doChurn(ctx context.Context, op Op) Outcome {
 	grown, err := p.Engine.AppendRows(name, op.AppendRows)
 	if err != nil {
 		return Outcome{Class: classifyErr(err), Err: err}
+	}
+	if grown.Generation <= info.Generation {
+		err := fmt.Errorf("%w: churn append generation %d not past registered %d", engine.ErrInternal, grown.Generation, info.Generation)
+		return Outcome{Class: ClassInternal, Err: err}
 	}
 	ans, _, err := p.Engine.ExplainAnswer(ctx, name, op.Query)
 	if err != nil {
@@ -442,7 +456,8 @@ func (h *HTTPTarget) Do(ctx context.Context, op Op) Outcome {
 func (h *HTTPTarget) doChurn(ctx context.Context, op Op) Outcome {
 	name := fmt.Sprintf("%s_%d", op.Table, h.churnSeq.Add(1))
 	var reg struct {
-		Version string `json:"version"`
+		Version    string `json:"version"`
+		Generation uint64 `json:"generation"`
 	}
 	status, err := h.post(ctx, "/v1/tables", map[string]any{"name": name, "columns": op.Columns, "rows": op.Rows}, &reg)
 	if err != nil {
@@ -471,7 +486,8 @@ func (h *HTTPTarget) doChurn(ctx context.Context, op Op) Outcome {
 		return Outcome{Class: ClassInternal, Err: fmt.Errorf("churn explain version %s, registered %s", ex.Version, reg.Version)}
 	}
 	var grown struct {
-		Version string `json:"version"`
+		Version    string `json:"version"`
+		Generation uint64 `json:"generation"`
 	}
 	status, err = h.do(ctx, http.MethodPatch, "/v1/tables/"+name, map[string]any{"rows": op.AppendRows}, &grown)
 	if err != nil {
@@ -479,6 +495,9 @@ func (h *HTTPTarget) doChurn(ctx context.Context, op Op) Outcome {
 	}
 	if status != http.StatusOK {
 		return Outcome{Class: classifyStatus(status), Err: fmt.Errorf("churn append: status %d", status)}
+	}
+	if grown.Generation <= reg.Generation {
+		return Outcome{Class: ClassInternal, Err: fmt.Errorf("churn append generation %d not past registered %d", grown.Generation, reg.Generation)}
 	}
 	var ans struct {
 		Version string `json:"version"`

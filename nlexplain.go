@@ -215,8 +215,17 @@ type (
 )
 
 // NewEngine builds a concurrent explanation engine (zero Options =
-// defaults).
+// defaults). It panics if opts request a durable data directory that
+// cannot be opened or recovered; services that set EngineOptions.DataDir
+// should prefer OpenEngine and handle the error.
 func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// OpenEngine builds a concurrent explanation engine, returning an error
+// instead of panicking when the durable data directory (if
+// EngineOptions.DataDir is set) cannot be opened, recovered from its
+// checkpoint + WAL tail, or fails its checksums. Close the engine to
+// flush and sync the log before exit.
+func OpenEngine(opts EngineOptions) (*Engine, error) { return engine.Open(opts) }
 
 // ErrUnknownTable reports an engine request against an unregistered
 // table name; match it with errors.Is.
