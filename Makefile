@@ -23,13 +23,18 @@ PERF_FLAGS    = -max-p50-ratio 4 -max-p99-ratio 4 -min-throughput-ratio 0.2 -max
 # 100K-row table, gated on rows/sec (scan throughput) in addition to
 # the usual latency/throughput tolerances. The rows/sec floor is a
 # generous 0.5x for the same noisy-runner reasons as above.
+# -min-morsels-skipped 1 additionally requires the run to prove
+# zone-map data skipping engaged (the mix's big_selective family must
+# book skipped morsels); SKIP_MIN_GAIN is the wall-clock floor the
+# skipgain step enforces on the high-selectivity probes.
 PERF_BASELINE_BIG = bench_baseline_big.json
 PERF_REPORT_BIG   = bench_report_big.json
 PERF_SUMMARY_BIG  = perf_summary_big.txt
 BIG_ROWS          = 100000
-PERF_FLAGS_BIG    = -max-p50-ratio 4 -max-p99-ratio 4 -min-throughput-ratio 0.2 -min-rows-ratio 0.5 -summary $(PERF_SUMMARY_BIG)
+SKIP_MIN_GAIN     = 3
+PERF_FLAGS_BIG    = -max-p50-ratio 4 -max-p99-ratio 4 -min-throughput-ratio 0.2 -min-rows-ratio 0.5 -min-morsels-skipped 1 -summary $(PERF_SUMMARY_BIG)
 
-.PHONY: all build test vet fmt cover bench baseline baseline-big perf-gate metrics-lint store-stress bigtable-stress crash-stress fuzz-wal speedup serve ci
+.PHONY: all build test vet fmt cover bench baseline baseline-big perf-gate metrics-lint store-stress bigtable-stress crash-stress fuzz-wal speedup skipgain serve ci
 
 all: build
 
@@ -77,10 +82,11 @@ bench:
 	@echo "benchstat-friendly output written to $$(pwd)/bench.out"
 
 # store-stress reruns the versioned-store concurrency suite (snapshot
-# isolation, churn, eviction) under the race detector, twice, exactly
+# isolation, churn, eviction) plus the zone-map property tests and the
+# segment footer round-trips under the race detector, twice, exactly
 # as the dedicated CI shard does.
 store-stress:
-	$(GO) test -race -run Store -count=2 ./internal/store/... ./internal/engine/...
+	$(GO) test -race -run 'Store|Zone|Segment' -count=2 ./internal/store/... ./internal/engine/... ./internal/table/... ./internal/segment/...
 
 # bigtable-stress is the data-race gate for the morsel-parallel
 # executor: the forced-parallel differential suites, the NaN/tie and
@@ -129,6 +135,10 @@ baseline-big:
 # serial-vs-parallel ratios (with GOMAXPROCS disclosed) to the summary
 # artifact — it hard-fails if parallel answers ever diverge from
 # serial, so result identity is load-tested on every gate run too.
+# The skipgain step then proves the zone-map layer earns its keep:
+# high-selectivity range counts must run >= $(SKIP_MIN_GAIN)x faster
+# with skipping on than off, with identical answers and a moving
+# skipped-morsel counter.
 # Both run legs execute with -data-dir, so the gate measures the
 # pipeline with durability on: the baselines' tolerances double as the
 # budget for WAL group commit staying off the query hot path.
@@ -139,6 +149,7 @@ perf-gate:
 	$(GO) run ./cmd/wtq-bench run -seed 1 -mix bigtable -big-rows $(BIG_ROWS) -ops 200 -workers 4 -data-dir perf_data/big -out $(PERF_REPORT_BIG)
 	$(GO) run ./cmd/wtq-bench compare $(PERF_FLAGS_BIG) $(PERF_BASELINE_BIG) $(PERF_REPORT_BIG)
 	$(GO) run ./cmd/wtq-bench speedup -rows 1000000 -summary $(PERF_SUMMARY)
+	$(GO) run ./cmd/wtq-bench skipgain -rows 1000000 -min-gain $(SKIP_MIN_GAIN) -summary $(PERF_SUMMARY_BIG)
 	rm -rf perf_data
 
 # speedup runs the big-table query families serial and morsel-parallel
@@ -146,6 +157,12 @@ perf-gate:
 # per-family speedup with GOMAXPROCS disclosed.
 speedup:
 	$(GO) run ./cmd/wtq-bench speedup -rows 1000000
+
+# skipgain runs selective range counts over the big table with
+# zone-map skipping off vs on, verifies identical answers, and
+# enforces the $(SKIP_MIN_GAIN)x floor on the high-selectivity probes.
+skipgain:
+	$(GO) run ./cmd/wtq-bench skipgain -rows 1000000 -min-gain $(SKIP_MIN_GAIN)
 
 # metrics-lint verifies the metric namespace: every registered series
 # name well-formed, collision-free and matching the canonical list in

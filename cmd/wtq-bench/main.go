@@ -8,15 +8,20 @@
 //	baseline  run with the CI-canonical settings and write bench_baseline.json
 //	compare   diff a fresh report against a baseline; exit 1 on regression
 //	speedup   time identical big-table queries serial vs morsel-parallel
+//	skipgain  time selective big-table range counts with zone-map
+//	          skipping off vs on, verify identical answers, and gate on
+//	          the high-selectivity speedup
 //
 // Examples:
 //
 //	wtq-bench run -seed 1 -mix superlative -duration 2s -out report.json
 //	wtq-bench run -mix bigtable -big-rows 1000000 -ops 64 -out big.json
+//	wtq-bench run -mix selective -selectivity 0.001 -ops 200
 //	wtq-bench run -mix mixed -ops 600 -target http://localhost:8080
 //	wtq-bench baseline
 //	wtq-bench compare -max-p99-ratio 1.5 bench_baseline.json report.json
 //	wtq-bench speedup -rows 1000000 -exec-workers 8 -summary perf_summary.txt
+//	wtq-bench skipgain -rows 1000000 -min-gain 3 -summary perf_summary.txt
 //
 // The mixed mix (the CI gate) includes the churn family: each churn op
 // exercises the full table lifecycle (register, explain, PATCH-append,
@@ -46,6 +51,7 @@ import (
 
 	"nlexplain/internal/dcs"
 	"nlexplain/internal/engine"
+	"nlexplain/internal/minisql"
 	"nlexplain/internal/plan"
 	"nlexplain/internal/table"
 	"nlexplain/internal/workload"
@@ -55,13 +61,15 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-const usage = `usage: wtq-bench <run|baseline|compare|speedup> [flags]
+const usage = `usage: wtq-bench <run|baseline|compare|speedup|skipgain> [flags]
 
   run       drive a workload and write a JSON report
   baseline  run with CI-canonical settings, writing bench_baseline.json
   compare   diff two reports (baseline, current); exit 1 on regression
   speedup   run big-table queries serial vs morsel-parallel, verify
             identical results and report the speedup
+  skipgain  run selective big-table range counts with zone-map skipping
+            off vs on, verify identical answers and report the gain
 
 run 'wtq-bench <subcommand> -h' for flags`
 
@@ -81,6 +89,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdCompare(args[1:], stdout, stderr)
 	case "speedup":
 		return cmdSpeedup(args[1:], stdout, stderr)
+	case "skipgain":
+		return cmdSkipgain(args[1:], stdout, stderr)
 	case "-h", "--help", "help":
 		fmt.Fprintln(stdout, usage)
 		return 0
@@ -121,6 +131,7 @@ func cmdRun(args []string, def runDefaults, stdout, stderr io.Writer) int {
 	engineStoreBudget := fs.Int64("engine-store-budget", 0, "in-process engine table-store byte budget (0 = unlimited)")
 	dataDir := fs.String("data-dir", "", "in-process durable data directory (WAL + segments); empty = in-memory")
 	requireMetrics := fs.Bool("require-metrics", false, "fail the run unless the target's /metrics scrape succeeds and is non-empty")
+	selectivity := fs.Float64("selectivity", 0, "big_selective match fraction for selective-family mixes (0 = default 0.01)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -133,15 +144,18 @@ func cmdRun(args []string, def runDefaults, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	var corpus *workload.Corpus
-	var opSet []workload.Op
-	if *bigRows > 0 {
-		corpus, opSet = workload.GenerateSized(*seed, mix, *genOps, *bigRows)
-	} else {
-		// Generate auto-sizes TableBig to workload.DefaultBigRows for
-		// mixes that need it.
-		corpus, opSet = workload.Generate(*seed, mix, *genOps)
+	// Mixes drawing bigtable families auto-size TableBig to
+	// workload.DefaultBigRows unless -big-rows overrides.
+	rows := *bigRows
+	if rows <= 0 && mix.NeedsBig() {
+		rows = workload.DefaultBigRows
 	}
+	corpus := workload.NewCorpusSized(*seed, rows)
+	gen := workload.NewGenerator(*seed, mix, corpus)
+	if *selectivity > 0 {
+		gen.SetSelectivity(*selectivity)
+	}
+	opSet := gen.Ops(*genOps)
 	var tgt workload.Target
 	if *target == "inproc" {
 		e, err := engine.Open(engine.Options{
@@ -208,6 +222,7 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 	maxCache := fs.Float64("max-cache-hit-drop", 0, "max absolute cache-hit-ratio drop (0 = default 0.15)")
 	maxAllocs := fs.Float64("max-allocs-ratio", 0, "max current/baseline allocs-per-op ratio (0 = default 1.5)")
 	minRows := fs.Float64("min-rows-ratio", 0, "min current/baseline scan rows/sec ratio, checked when the baseline has one (0 = default 0.5)")
+	minSkipped := fs.Int64("min-morsels-skipped", 0, "min skipped-morsel count in the current run, proving zone-map skipping engaged (0 = not checked)")
 	summary := fs.String("summary", "", "write a benchstat-style old-vs-new metric table to this file")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: wtq-bench compare [flags] baseline.json current.json")
@@ -239,6 +254,7 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 		MaxCacheHitDrop:    *maxCache,
 		MaxAllocsRatio:     *maxAllocs,
 		MinRowsRateRatio:   *minRows,
+		MinMorselsSkipped:  *minSkipped,
 	}
 	vs := workload.Compare(base, cur, tol)
 	fmt.Fprintf(stdout, "baseline: %s\ncurrent:  %s\n", summaryLine(base), summaryLine(cur))
@@ -403,6 +419,151 @@ func cmdSpeedup(args []string, stdout, stderr io.Writer) int {
 	}
 	if *minSpeedup > 0 && worst < *minSpeedup {
 		fmt.Fprintf(stdout, "FAIL: worst-family speedup %.2fx below required %.2fx\n", worst, *minSpeedup)
+		return 1
+	}
+	return 0
+}
+
+// cmdSkipgain measures what the zone-map layer is for: identical fused
+// range counts over the big table's monotone Seq column are timed with
+// zone-map skipping disabled (every morsel scanned) and enabled (zones
+// prove morsels row-free or all-match), answers are verified identical,
+// and the speedup is reported per probe. The gated probes are the
+// high-selectivity ones — a narrow sel·n-row range and a point lookup —
+// where skipping must also demonstrably engage (skipped-morsel counter
+// moves). The wide low-selectivity control is reported but never gated:
+// its morsels genuinely hold rows, so the best zones can do there is
+// the bulk-fill shortcut (~1x wall clock). CI appends the output to the
+// perf-gate summary artifact.
+func cmdSkipgain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("skipgain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "corpus seed; same seed -> same big table")
+	rows := fs.Int("rows", 1_000_000, "row count of the generated big table")
+	selectivity := fs.Float64("selectivity", workload.DefaultSelectivity, "match fraction of the high-selectivity probes")
+	iters := fs.Int("iters", 3, "timed iterations per configuration (best-of)")
+	summary := fs.String("summary", "", "append the skipgain report to this file")
+	minGain := fs.Float64("min-gain", 0,
+		"fail unless every high-selectivity probe reaches this zones-on vs zones-off speedup (0 = report only)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	corpus := workload.NewCorpusSized(*seed, *rows)
+	tab, ok := corpus.Table(workload.TableBig)
+	if !ok {
+		fmt.Fprintln(stderr, "wtq-bench: sized corpus has no big table")
+		return 1
+	}
+	n := tab.NumRows()
+	span := int(*selectivity * float64(n))
+	if span < 1 {
+		span = 1
+	}
+
+	probes := []struct {
+		name   string
+		lo, hi int
+		gated  bool
+	}{
+		{"narrow", (n - span) / 2, (n-span)/2 + span - 1, true},
+		{"point", n / 2, n / 2, true},
+		{"wide", 0, n - span - 1, false},
+	}
+
+	prevZones := plan.SetZoneSkipping(true)
+	defer plan.SetZoneSkipping(prevZones)
+
+	best := func(q minisql.Query) (*minisql.Rows, time.Duration, error) {
+		res, err := minisql.Exec(q, tab)
+		if err != nil {
+			return nil, 0, err
+		}
+		bestD := time.Duration(math.MaxInt64)
+		for i := 0; i < *iters; i++ {
+			start := time.Now()
+			res, err = minisql.Exec(q, tab)
+			if err != nil {
+				return nil, 0, err
+			}
+			if d := time.Since(start); d < bestD {
+				bestD = d
+			}
+		}
+		return res, bestD, nil
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "skipgain: rows=%d selectivity=%g zone-rows=%d iters=%d\n",
+		n, *selectivity, table.ZoneRows, *iters)
+
+	worst := math.Inf(1)
+	for _, p := range probes {
+		src := fmt.Sprintf("SELECT COUNT(Index) FROM T WHERE Seq >= %d AND Seq <= %d", p.lo, p.hi)
+		q, err := minisql.Parse(src)
+		if err != nil {
+			fmt.Fprintf(stderr, "wtq-bench: parsing %s probe: %v\n", p.name, err)
+			return 1
+		}
+		// Warm both configurations (the zone-map build is lazy), then
+		// settle the heap so neither timed phase absorbs GC debt.
+		for _, on := range []bool{false, true} {
+			plan.SetZoneSkipping(on)
+			if _, err := minisql.Exec(q, tab); err != nil {
+				fmt.Fprintf(stderr, "wtq-bench: warming %s probe: %v\n", p.name, err)
+				return 1
+			}
+		}
+		runtime.GC()
+		plan.SetZoneSkipping(false)
+		offRes, offD, err := best(q)
+		if err != nil {
+			fmt.Fprintf(stderr, "wtq-bench: zones-off %s run: %v\n", p.name, err)
+			return 1
+		}
+		runtime.GC()
+		plan.SetZoneSkipping(true)
+		skipBefore, cutBefore := plan.SkipStats()
+		onRes, onD, err := best(q)
+		skipAfter, cutAfter := plan.SkipStats()
+		if err != nil {
+			fmt.Fprintf(stderr, "wtq-bench: zones-on %s run: %v\n", p.name, err)
+			return 1
+		}
+		if !reflect.DeepEqual(offRes, onRes) {
+			fmt.Fprintf(stderr, "wtq-bench: %s: zones-on answer differs from zones-off\n", p.name)
+			return 1
+		}
+		if p.gated && skipAfter == skipBefore {
+			fmt.Fprintf(stderr, "wtq-bench: %s: zone skipping never engaged (skipped-morsel counter did not move)\n", p.name)
+			return 1
+		}
+		gain := float64(offD) / float64(onD)
+		if p.gated && gain < worst {
+			worst = gain
+		}
+		fmt.Fprintf(&b, "  %-8s rows=[%d,%d] zones-off=%-10s zones-on=%-10s gain=%.2fx skipped=%d bulk=%d identical=true\n",
+			p.name, p.lo, p.hi, offD.Round(time.Microsecond), onD.Round(time.Microsecond),
+			gain, skipAfter-skipBefore, cutAfter-cutBefore)
+	}
+
+	fmt.Fprint(stdout, b.String())
+	if *summary != "" {
+		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err == nil {
+			_, err = f.WriteString("\n" + b.String())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "wtq-bench: writing summary: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "skipgain report appended to %s\n", *summary)
+	}
+	if *minGain > 0 && worst < *minGain {
+		fmt.Fprintf(stdout, "FAIL: worst high-selectivity gain %.2fx below required %.2fx\n", worst, *minGain)
 		return 1
 	}
 	return 0

@@ -120,16 +120,12 @@ func TestRegisterTablePayloadCap(t *testing.T) {
 			Code    string `json:"code"`
 			Message string `json:"message"`
 		} `json:"error"`
-		ErrorString string `json:"error_string"`
 	}
 	if err := json.Unmarshal(body, &errBody); err != nil || errBody.Error.Message == "" {
 		t.Fatalf("413 body is not the JSON error shape: %s (%v)", body, err)
 	}
 	if errBody.Error.Code != "too_large" {
 		t.Fatalf("413 code = %q, want too_large", errBody.Error.Code)
-	}
-	if errBody.ErrorString != errBody.Error.Message {
-		t.Fatalf("error_string %q != error.message %q", errBody.ErrorString, errBody.Error.Message)
 	}
 
 	if resp, _ := doJSON(t, http.MethodPatch, ts.URL+"/v1/tables/small", map[string]any{"rows": [][]string{{big}}}); resp.StatusCode != http.StatusRequestEntityTooLarge {

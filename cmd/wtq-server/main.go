@@ -21,14 +21,12 @@
 //
 // Every non-2xx response carries the unified error envelope
 //
-//	{"error": {"code": "<machine_code>", "message": "..."}, "error_string": "..."}
+//	{"error": {"code": "<machine_code>", "message": "..."}}
 //
 // with stable codes: bad_request, unknown_table, too_large,
-// deadline_exceeded, canceled, overloaded, internal. The flat
-// "error_string" field preserves the pre-observability
-// {"error": "<string>"} message for existing clients and is
-// DEPRECATED: it will be dropped one release after this one; switch to
-// error.code/error.message.
+// deadline_exceeded, canceled, overloaded, internal. (The deprecated
+// flat "error_string" mirror announced one release ago has been
+// dropped; read error.code/error.message.)
 //
 // Observability: every endpoint is instrumented with
 // server.http.<endpoint>.{requests,errors,latency.seconds} series on
@@ -236,19 +234,15 @@ type errorInfo struct {
 	Message string `json:"message"`
 }
 
-// errorBody is the response body of every non-2xx reply.
+// errorBody is the response body of every non-2xx reply. (The
+// deprecated "error_string" mirror of the pre-envelope flat shape was
+// dropped after its announced one-release grace period.)
 type errorBody struct {
 	Error errorInfo `json:"error"`
-	// ErrorString preserves the pre-observability flat error shape
-	// ({"error": "<string>"} before the envelope redesign made "error"
-	// an object). DEPRECATED: dropped one release after its
-	// introduction; read Error.Message instead.
-	ErrorString string `json:"error_string"`
 }
 
 func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
-	msg := fmt.Sprintf(format, args...)
-	writeJSON(w, status, errorBody{Error: errorInfo{Code: code, Message: msg}, ErrorString: msg})
+	writeJSON(w, status, errorBody{Error: errorInfo{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
 // errStatus maps a pipeline error to an HTTP status: missing tables

@@ -37,9 +37,10 @@ func driveTraffic(t *testing.T, ts *httptest.Server) {
 }
 
 // TestStatsShimKeys locks GET /v1/stats to the PR-5 wire shape modulo
-// the one documented change: store_tables collapsed into tables (they
-// always carried the same value). testdata/stats_pr5.json is a real
-// response captured from the pre-registry server.
+// the documented changes: store_tables collapsed into tables (they
+// always carried the same value), plus the additive zone-map skipping
+// counters morsels_skipped/morsels_shortcut. testdata/stats_pr5.json
+// is a real response captured from the pre-registry server.
 func TestStatsShimKeys(t *testing.T) {
 	recorded, err := os.ReadFile(filepath.Join("testdata", "stats_pr5.json"))
 	if err != nil {
@@ -65,6 +66,7 @@ func TestStatsShimKeys(t *testing.T) {
 			want = append(want, k)
 		}
 	}
+	want = append(want, "morsels_skipped", "morsels_shortcut")
 	got := make([]string, 0, len(cur))
 	for k := range cur {
 		got = append(got, k)
@@ -130,9 +132,9 @@ func TestMetricsExposition(t *testing.T) {
 	}
 }
 
-// TestErrorEnvelope locks the redesigned error shape: a stable machine
-// code plus message under "error", with the deprecated flat string
-// mirrored in "error_string".
+// TestErrorEnvelope locks the error shape: a stable machine code plus
+// message under "error", and nothing else — in particular the removed
+// "error_string" mirror must not reappear.
 func TestErrorEnvelope(t *testing.T) {
 	ts, _ := newTestServer(t)
 	registerOlympics(t, ts)
@@ -161,7 +163,6 @@ func TestErrorEnvelope(t *testing.T) {
 				Code    string `json:"code"`
 				Message string `json:"message"`
 			} `json:"error"`
-			ErrorString string `json:"error_string"`
 		}
 		if err := json.Unmarshal(body, &env); err != nil {
 			t.Errorf("%s: %v: %s", tc.name, err, body)
@@ -170,8 +171,14 @@ func TestErrorEnvelope(t *testing.T) {
 		if env.Error.Code != tc.code {
 			t.Errorf("%s: code = %q, want %q", tc.name, env.Error.Code, tc.code)
 		}
-		if env.Error.Message == "" || env.Error.Message != env.ErrorString {
-			t.Errorf("%s: message %q / error_string %q mismatch", tc.name, env.Error.Message, env.ErrorString)
+		if env.Error.Message == "" {
+			t.Errorf("%s: empty error.message", tc.name)
+		}
+		var raw map[string]json.RawMessage
+		if err := json.Unmarshal(body, &raw); err == nil {
+			if _, ok := raw["error_string"]; ok {
+				t.Errorf("%s: removed error_string field present: %s", tc.name, body)
+			}
 		}
 	}
 }

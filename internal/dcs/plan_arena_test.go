@@ -178,15 +178,25 @@ func TestPlanPooledReuseStaysDifferential(t *testing.T) {
 }
 
 // FuzzPlanDifferential fuzzes query strings through both executors
-// under both tracers. Any parseable, checkable query must produce
-// identical denotations and witness cells on the plan path and the
-// legacy interpreter, and error exactly when the interpreter errors.
+// under both tracers, with zone-map consultation forced (threshold 0)
+// so every scan the plan path runs goes through the zone verdict
+// layer. Any parseable, checkable query must produce identical
+// denotations and witness cells on the plan path and the legacy
+// interpreter, and error exactly when the interpreter errors.
 func FuzzPlanDifferential(f *testing.F) {
+	prevZOn := plan.SetZoneSkipping(true)
+	prevZT := plan.SetZoneSkipThreshold(0)
+	f.Cleanup(func() {
+		plan.SetZoneSkipping(prevZOn)
+		plan.SetZoneSkipThreshold(prevZT)
+	})
 	for _, tc := range diffCorpus {
 		f.Add(tc.src)
 	}
 	f.Add("sum(R[City].Country.Greece)")
 	f.Add("max(R[Year].Country.Atlantis)")
+	f.Add("count(Year>=1900)")
+	f.Add("(Year>1896 u Year<=2008)")
 	tab := table.MustNew("olympics",
 		[]string{"Year", "Country", "City"},
 		[][]string{
@@ -196,6 +206,7 @@ func FuzzPlanDifferential(f *testing.F) {
 			{"2008", "China", "Beijing"},
 			{"2012", "UK", "London"},
 			{"nan", "ſ", "Straße"}, // NaN + Unicode folds: the fast-path guards
+			{"", "", ""},           // empty cells: the zone EmptyCount edge
 		})
 	f.Fuzz(func(t *testing.T, src string) {
 		e, err := Parse(src)

@@ -209,17 +209,26 @@ func assertSameResult(t *testing.T, want, got *Result, cells bool) {
 // plan path: range comparisons against a NaN literal (where binary
 // search on the sorted index would invert partitions) and entity
 // inequality involving NaN cells (where canonical-key identity and
-// Value.Equal disagree).
+// Value.Equal disagree). Zone-map consultation is forced so the zone
+// verdicts' NaN and empty-cell tallies are differentially checked too.
 func TestPlanDifferentialNaN(t *testing.T) {
+	prevZOn := plan.SetZoneSkipping(true)
+	prevZT := plan.SetZoneSkipThreshold(0)
+	defer func() {
+		plan.SetZoneSkipping(prevZOn)
+		plan.SetZoneSkipThreshold(prevZT)
+	}()
 	// N holds a NaN cell (non-indexable column); M is a clean numeric
 	// column, so a NaN literal against M exercises the sorted-index
-	// guard rather than the non-indexable fallback.
+	// guard rather than the non-indexable fallback. The empty cell in N
+	// exercises the zone layer's EmptyCount accounting.
 	tab := table.MustNew("nums",
 		[]string{"Label", "N", "M"},
 		[][]string{
 			{"a", "1", "10"},
 			{"b", "nan", "20"}, // ParseValue("nan") is NumberValue(NaN)
 			{"c", "3", "30"},
+			{"d", "", "40"}, // empty cell: non-numeric, matches no range
 		})
 	nan := table.ParseValue("nan")
 	two := table.NumberValue(2)
@@ -296,14 +305,21 @@ func TestResultRowsDoNotAliasTableIndex(t *testing.T) {
 // TestPlanDifferentialParallel runs the whole differential corpus a
 // third way: through the plan path with the morsel-parallel executor
 // forced on (8 workers, threshold 1, so even fixture-sized inputs take
-// the parallel kernels). Answers, witness cells and error texts must
-// match the serial plan path exactly.
+// the parallel kernels) and zone-map consultation forced (threshold 0,
+// skipping enabled). The reference run is serial with zone skipping
+// disabled, so a verdict bug in either the parallel kernels or the
+// zone layer diverges. Answers, witness cells and error texts must
+// match exactly.
 func TestPlanDifferentialParallel(t *testing.T) {
 	prevW := plan.SetExecWorkers(8)
 	prevT := plan.SetParallelThreshold(1)
+	prevZOn := plan.SetZoneSkipping(true)
+	prevZT := plan.SetZoneSkipThreshold(0)
 	defer func() {
 		plan.SetExecWorkers(prevW)
 		plan.SetParallelThreshold(prevT)
+		plan.SetZoneSkipping(prevZOn)
+		plan.SetZoneSkipThreshold(prevZT)
 	}()
 	for _, tc := range diffCorpus {
 		tc := tc
@@ -314,8 +330,10 @@ func TestPlanDifferentialParallel(t *testing.T) {
 				t.Fatalf("Parse(%q): %v", tc.src, err)
 			}
 			plan.SetExecWorkers(1)
+			plan.SetZoneSkipping(false)
 			want, werr := Execute(e, tab)
 			plan.SetExecWorkers(8)
+			plan.SetZoneSkipping(true)
 			got, gerr := Execute(e, tab)
 			if (werr == nil) != (gerr == nil) {
 				t.Fatalf("error divergence: serial=%v parallel=%v", werr, gerr)

@@ -92,6 +92,10 @@ func (e *Engine) initMetrics() {
 		func() uint64 { _, s, _ := plan.ExecStats(); return s })
 	r.CounterFunc("exec.parallel.morsels", "morsels processed by the parallel executor",
 		func() uint64 { _, _, m := plan.ExecStats(); return m })
+	r.CounterFunc("exec.morsels.skipped", "morsels proven row-free by zone maps and skipped",
+		func() uint64 { sk, _ := plan.SkipStats(); return sk })
+	r.CounterFunc("exec.morsels.shortcut", "morsels proven all-match by zone maps and bulk-filled",
+		func() uint64 { _, sc := plan.SkipStats(); return sc })
 	morselLatency := r.LatencyHistogram("exec.morsel.latency.seconds", "per-morsel execution latency in the parallel path")
 	plan.SetMorselObserver(morselLatency.RecordDuration)
 

@@ -1,5 +1,7 @@
 package engine
 
+import "nlexplain/internal/plan"
+
 // Stats is the backward-compatible JSON snapshot served by
 // wtq-server's GET /v1/stats. Since the observability redesign it is a
 // shim rendered from the engine's metric registry (see metrics.go and
@@ -40,6 +42,11 @@ type Stats struct {
 	Parses          uint64  `json:"parses"`
 	AvgLatencyMs    float64 `json:"avg_latency_ms"`
 	TotalLatencyS   float64 `json:"total_latency_s"`
+	// Zone-map skipping counters (process-global, like the executor's
+	// worker pool): morsels proven row-free and skipped, and morsels
+	// proven all-match and bulk-filled without per-row evaluation.
+	MorselsSkipped  uint64 `json:"morsels_skipped"`
+	MorselsShortcut uint64 `json:"morsels_shortcut"`
 	// Store gauges: resident-byte estimate, derived-index evictions
 	// under budget pressure and the monotonic generation counter of the
 	// versioned table store.
@@ -89,6 +96,7 @@ func (e *Engine) Stats() Stats {
 		StoreEvictions:  st.Evictions,
 		StoreGen:        st.Gen,
 	}
+	s.MorselsSkipped, s.MorselsShortcut = plan.SkipStats()
 	if computed := execs + answers; computed > 0 {
 		s.AvgLatencyMs = float64(nanos) / float64(computed) / 1e6
 	}

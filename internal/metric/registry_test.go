@@ -46,6 +46,8 @@ var wantNames = []string{
 	"engine.cache.result.size",
 	"engine.errors",
 	"engine.exec.morsel.latency.seconds",
+	"engine.exec.morsels.shortcut",
+	"engine.exec.morsels.skipped",
 	"engine.exec.parallel.morsels",
 	"engine.exec.parallel.runs",
 	"engine.exec.serial.runs",
@@ -72,6 +74,8 @@ var wantNames = []string{
 	"store.wal.size.bytes",
 	"store.wal.syncs",
 	"store.wal.truncated.bytes",
+	"store.zonemap.builds",
+	"store.zonemap.bytes",
 }
 
 var nameRE = regexp.MustCompile(`^[a-z0-9_]+(\.[a-z0-9_]+)*$`)

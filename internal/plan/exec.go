@@ -368,8 +368,31 @@ func (ex *executor) compare(x *Compare) (*Val, error) {
 		// A NaN literal breaks binary search (every ordering predicate
 		// is false on NaN); fall back to the Value.Compare scan, which
 		// reproduces the interpreter's NaN behaviour.
+		useIndex := t.ColumnIndexable(x.Col) && !math.IsNaN(lit)
+		var zs *zoneScan
+		if !useIndex || !t.NumericIndexBuilt(x.Col) {
+			// Zone maps can beat the sorted index only before the index
+			// exists (they cost one column walk vs an O(n log n) sort);
+			// once the index is resident its sublinear search always wins.
+			zs = ex.zonePred(&CmpPred{Col: x.Col, Op: x.Cmp, V: x.V})
+		}
 		switch {
-		case t.ColumnIndexable(x.Col) && !math.IsNaN(lit):
+		case zs != nil && (!useIndex || 2*zs.none >= len(zs.verdicts)):
+			// The zones prune (or the column cannot be indexed at all):
+			// scan only the morsels the predicate cannot decide. On an
+			// indexable column the zone path is taken only when at least
+			// half the morsels are provably empty — otherwise building
+			// the sorted index amortises better across queries.
+			pred, err := ex.compilePred(&CmpPred{Col: x.Col, Op: x.Cmp, V: x.V})
+			if err != nil {
+				return nil, err
+			}
+			zr, err := ex.zoneFilterScan(t.NumRows(), zs, pred)
+			if err != nil {
+				return nil, err
+			}
+			rows = zr
+		case useIndex:
 			// Binary search on the cached sorted index + bitset replay is
 			// sublinear in the table size — it beats any parallel direct
 			// scan at every scale, so indexable ranges never take the
@@ -475,7 +498,19 @@ func (ex *executor) filter(x *Filter) (*Val, error) {
 		return nil, err
 	}
 	var rows []int
-	if ex.goParallel(len(in.Rows)) && !predHasFunc(x.Pred) {
+	var zs *zoneScan
+	if _, isScan := x.Input.(*Scan); isScan {
+		// A filter directly over the scan covers the whole row space, so
+		// its morsels line up with the zone maps: consult them before
+		// evaluating a single row.
+		zs = ex.zonePred(x.Pred)
+	}
+	if zs != nil {
+		rows, err = ex.zoneFilterScan(len(in.Rows), zs, pred)
+		if err != nil {
+			return nil, err
+		}
+	} else if ex.goParallel(len(in.Rows)) && !predHasFunc(x.Pred) {
 		// Compiled non-FuncPred closures are pure column reads, safe to
 		// evaluate from worker goroutines; opaque FuncPreds may run
 		// nested executions and stay serial.
@@ -525,6 +560,18 @@ func (ex *executor) compilePred(p Pred) (func(row int) (bool, error), error) {
 			}
 			keys := t.ColumnKeys(x.Col)
 			lit := x.V.Key()
+			// Resolve the literal against the table's build dictionary
+			// once: when the key occurs in the column, swapping the
+			// literal for the interned copy makes the per-row comparison
+			// hit the pointer-equality string fast path; when it does
+			// not occur anywhere, the predicate is a constant.
+			if occ := t.RowsForKey(x.Col, lit); len(occ) > 0 {
+				lit = keys[occ[0]]
+			} else if x.Op == "=" {
+				return func(int) (bool, error) { return false, nil }, nil
+			} else {
+				return func(int) (bool, error) { return true, nil }, nil
+			}
 			if x.Op == "=" {
 				return func(r int) (bool, error) { return keys[r] == lit, nil }, nil
 			}
@@ -744,10 +791,23 @@ func (ex *executor) superlative(x *Superlative) (*Val, error) {
 	if t.ColumnAllNumeric(x.Col) && t.ColumnIndexable(x.Col) {
 		nums, _ := t.ColumnNums(x.Col)
 		if len(rows) == t.NumRows() {
-			// Full-table superlative: the extreme's tie group is a
-			// contiguous run of the sorted numeric index, and within a
-			// tie group the index orders by record — so the group can be
-			// shared as a subslice, already ascending, no sort, no copy.
+			// Full-table superlative. If the sorted index is not resident
+			// yet, the zone maps answer cheaper: the global extreme folds
+			// from the zone bounds and only zones achieving it are read.
+			if zr, ok, err := ex.zoneSuperlative(x.Col, x.Max, nums); err != nil {
+				return nil, err
+			} else if ok {
+				v := ex.ar.val(RowsKind)
+				v.Rows = zr
+				if ex.trace {
+					v.Cells = ex.cellsAt(zr, x.Col)
+				}
+				return v, nil
+			}
+			// The extreme's tie group is a contiguous run of the sorted
+			// numeric index, and within a tie group the index orders by
+			// record — so the group can be shared as a subslice, already
+			// ascending, no sort, no copy.
 			idx := t.NumericSortedRows(x.Col)
 			if x.Max {
 				best := nums[idx[len(idx)-1]]

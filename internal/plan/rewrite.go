@@ -60,10 +60,16 @@ func rewrite(n Node) (Node, bool) {
 				return &Compare{Col: cp.Col, Cmp: cp.Op, V: cp.V}, true
 			}
 			if ap, ok := x.Pred.(*AndPred); ok {
-				if _, pushable := ap.L.(*CmpPred); pushable {
+				if l, pushable := ap.L.(*CmpPred); pushable && (l.Op == "=" || !predAllCmp(ap.R)) {
 					// Split the conjunction so the native leading conjunct
 					// can sink into an index on the next pass; evaluation
-					// order (left before right) is preserved.
+					// order (left before right) is preserved. An equality
+					// conjunct always sinks (the KB posting list is exact);
+					// a range conjunct sinks only when the rest contains an
+					// opaque closure — a pure conjunction of native
+					// comparisons stays fused over the scan, where the
+					// executor answers it with zone-map data skipping
+					// instead of materialising a wide range intermediate.
 					return &Filter{Input: &Filter{Input: in, Pred: ap.L}, Pred: ap.R}, true
 				}
 			}
@@ -167,6 +173,23 @@ func rewrite(n Node) (Node, bool) {
 		}
 	}
 	return n, changed
+}
+
+// predAllCmp reports whether a predicate tree is built purely from
+// native comparisons (CmpPred leaves under And/Or/Not) — the shape the
+// executor's zone-map consultation can reason about block by block.
+func predAllCmp(p Pred) bool {
+	switch x := p.(type) {
+	case *CmpPred:
+		return true
+	case *AndPred:
+		return predAllCmp(x.L) && predAllCmp(x.R)
+	case *OrPred:
+		return predAllCmp(x.L) && predAllCmp(x.R)
+	case *NotPred:
+		return predAllCmp(x.P)
+	}
+	return false
 }
 
 // constScalar is a folded scalar constant: a Const that reports

@@ -13,9 +13,18 @@
 //
 // body, all integers uvarint, strings length-prefixed:
 //
-//	schema(=1) name gen version
+//	schema(=2) name gen version
 //	ncols col... nrows
 //	per column: dictLen dict... then nrows dictionary indexes
+//	zone footer: nzcols (0, or = ncols), then per column nzones and
+//	per zone: min max (float64 bits, 8 bytes LE each) keyMin keyMax
+//	numCount nanCount emptyCount
+//
+// The zone footer (schema 2) carries the per-column zone maps of the
+// snapshot so recovery installs them without rescanning the columns.
+// It lives under the same checksum as the rest of the body. Schema-1
+// segments (no footer) remain readable — they decode with nil zones
+// and the table rebuilds its maps lazily.
 //
 // Files are written atomically (tmp + fsync + rename + dir fsync) and
 // never modified after that, so a reader either sees a whole valid
@@ -28,8 +37,11 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
+
+	"nlexplain/internal/table"
 )
 
 // ErrCorrupt reports a segment file whose magic, checksum or framing
@@ -39,7 +51,8 @@ var ErrCorrupt = errors.New("segment: corrupt file")
 
 const (
 	magic      = "WTQSEG1\n"
-	schemaSeg  = 1
+	schemaV1   = 1       // rows only, no zone footer
+	schemaSeg  = 2       // rows + zone-map footer
 	maxStrings = 1 << 30 // sanity bound on any length field
 )
 
@@ -55,10 +68,12 @@ type Meta struct {
 }
 
 // Write encodes one table snapshot into path atomically. rows is raw
-// cell text, row-major, each row len(m.Columns) wide; the slices are
+// cell text, row-major, each row len(m.Columns) wide; zones, when
+// non-nil, is the snapshot's per-column zone maps (len(m.Columns)
+// columns wide) persisted in the checksummed footer. The slices are
 // read, never retained.
-func Write(path string, m Meta, rows [][]string) error {
-	body := appendBody(nil, m, rows)
+func Write(path string, m Meta, rows [][]string, zones [][]table.Zone) error {
+	body := appendBody(nil, m, rows, zones)
 	buf := make([]byte, 0, len(magic)+4+len(body))
 	buf = append(buf, magic...)
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(body, castagnoli))
@@ -87,7 +102,7 @@ func Write(path string, m Meta, rows [][]string) error {
 	return syncDir(dir)
 }
 
-func appendBody(b []byte, m Meta, rows [][]string) []byte {
+func appendBody(b []byte, m Meta, rows [][]string, zones [][]table.Zone) []byte {
 	b = binary.AppendUvarint(b, schemaSeg)
 	b = appendString(b, m.Name)
 	b = binary.AppendUvarint(b, m.Gen)
@@ -121,29 +136,46 @@ func appendBody(b []byte, m Meta, rows [][]string) []byte {
 			b = binary.AppendUvarint(b, di)
 		}
 	}
+	b = binary.AppendUvarint(b, uint64(len(zones)))
+	for _, zs := range zones {
+		b = binary.AppendUvarint(b, uint64(len(zs)))
+		for i := range zs {
+			z := &zs[i]
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(z.Min))
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(z.Max))
+			b = appendString(b, z.KeyMin)
+			b = appendString(b, z.KeyMax)
+			b = binary.AppendUvarint(b, uint64(z.NumCount))
+			b = binary.AppendUvarint(b, uint64(z.NaNCount))
+			b = binary.AppendUvarint(b, uint64(z.EmptyCount))
+		}
+	}
 	return b
 }
 
 // Read decodes the segment file at path, verifying the checksum. The
 // returned rows are row-major raw cell text; cells repeating a value
 // within a column share one backing string (the dictionary entry).
-func Read(path string) (Meta, [][]string, error) {
+// zones is the decoded per-column zone footer — nil for schema-1
+// segments or a schema-2 footer written without zones.
+func Read(path string) (Meta, [][]string, [][]table.Zone, error) {
 	var m Meta
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return m, nil, err
+		return m, nil, nil, err
 	}
 	if len(data) < len(magic)+4 || string(data[:len(magic)]) != magic {
-		return m, nil, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, path)
+		return m, nil, nil, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, path)
 	}
 	sum := binary.LittleEndian.Uint32(data[len(magic):])
 	body := data[len(magic)+4:]
 	if crc32.Checksum(body, castagnoli) != sum {
-		return m, nil, fmt.Errorf("%w: %s: checksum mismatch", ErrCorrupt, path)
+		return m, nil, nil, fmt.Errorf("%w: %s: checksum mismatch", ErrCorrupt, path)
 	}
 	d := decoder{buf: body, path: path}
-	if schema := d.uvarint(); schema != schemaSeg {
-		return m, nil, fmt.Errorf("%w: %s: unknown schema %d", ErrCorrupt, path, schema)
+	schema := d.uvarint()
+	if schema != schemaV1 && schema != schemaSeg {
+		return m, nil, nil, fmt.Errorf("%w: %s: unknown schema %d", ErrCorrupt, path, schema)
 	}
 	m.Name = d.string()
 	m.Gen = d.uvarint()
@@ -156,7 +188,7 @@ func Read(path string) (Meta, [][]string, error) {
 	nrows := int(d.count())
 	m.Rows = nrows
 	if d.err != nil {
-		return m, nil, d.fail()
+		return m, nil, nil, d.fail()
 	}
 	rows := make([][]string, nrows)
 	cells := make([]string, nrows*ncols)
@@ -175,21 +207,47 @@ func Read(path string) (Meta, [][]string, error) {
 				break
 			}
 			if di >= uint64(len(dict)) {
-				return m, nil, fmt.Errorf("%w: %s: dictionary index %d out of range", ErrCorrupt, path, di)
+				return m, nil, nil, fmt.Errorf("%w: %s: dictionary index %d out of range", ErrCorrupt, path, di)
 			}
 			rows[r][c] = dict[di]
 		}
 		if d.err != nil {
-			return m, nil, d.fail()
+			return m, nil, nil, d.fail()
+		}
+	}
+	var zones [][]table.Zone
+	if schema >= schemaSeg {
+		nzcols := int(d.count())
+		if d.err == nil && nzcols != 0 && nzcols != ncols {
+			return m, nil, nil, fmt.Errorf("%w: %s: zone footer covers %d of %d columns", ErrCorrupt, path, nzcols, ncols)
+		}
+		if nzcols != 0 {
+			zones = make([][]table.Zone, nzcols)
+			for c := 0; c < nzcols && d.err == nil; c++ {
+				nz := int(d.count())
+				zs := make([]table.Zone, 0, nz)
+				for i := 0; i < nz && d.err == nil; i++ {
+					var z table.Zone
+					z.Min = d.float64()
+					z.Max = d.float64()
+					z.KeyMin = d.string()
+					z.KeyMax = d.string()
+					z.NumCount = int32(d.count())
+					z.NaNCount = int32(d.count())
+					z.EmptyCount = int32(d.count())
+					zs = append(zs, z)
+				}
+				zones[c] = zs
+			}
 		}
 	}
 	if d.err != nil {
-		return m, nil, d.fail()
+		return m, nil, nil, d.fail()
 	}
 	if len(d.buf) != 0 {
-		return m, nil, fmt.Errorf("%w: %s: %d trailing bytes", ErrCorrupt, path, len(d.buf))
+		return m, nil, nil, fmt.Errorf("%w: %s: %d trailing bytes", ErrCorrupt, path, len(d.buf))
 	}
-	return m, rows, nil
+	return m, rows, zones, nil
 }
 
 // decoder walks a segment body, latching the first framing error.
@@ -223,6 +281,20 @@ func (d *decoder) count() uint64 {
 		d.err = fmt.Errorf("implausible count %d", v)
 		return 0
 	}
+	return v
+}
+
+// float64 reads fixed 8-byte little-endian IEEE-754 bits.
+func (d *decoder) float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.err = errors.New("truncated float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf))
+	d.buf = d.buf[8:]
 	return v
 }
 

@@ -1,7 +1,9 @@
 package segment
 
 import (
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -25,15 +27,18 @@ var testRows = [][]string{
 
 func TestSegmentRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "seg-001.seg")
-	if err := Write(path, testMeta, testRows); err != nil {
+	if err := Write(path, testMeta, testRows, nil); err != nil {
 		t.Fatalf("Write: %v", err)
 	}
-	m, rows, err := Read(path)
+	m, rows, zones, err := Read(path)
 	if err != nil {
 		t.Fatalf("Read: %v", err)
 	}
 	if m.Name != testMeta.Name || m.Gen != testMeta.Gen || m.Version != testMeta.Version {
 		t.Fatalf("meta round trip: %+v", m)
+	}
+	if zones != nil {
+		t.Fatalf("segment written without zones decoded %d zone columns", len(zones))
 	}
 	if len(m.Columns) != 3 || m.Columns[1] != "City" {
 		t.Fatalf("columns round trip: %v", m.Columns)
@@ -61,10 +66,10 @@ func TestSegmentRoundTrip(t *testing.T) {
 func TestSegmentEmptyTable(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "empty.seg")
 	m := Meta{Name: "empty", Gen: 1, Version: "v", Columns: []string{"A", "B"}}
-	if err := Write(path, m, nil); err != nil {
+	if err := Write(path, m, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	got, rows, err := Read(path)
+	got, rows, _, err := Read(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +80,7 @@ func TestSegmentEmptyTable(t *testing.T) {
 
 func TestSegmentChecksumDetectsFlip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "seg.seg")
-	if err := Write(path, testMeta, testRows); err != nil {
+	if err := Write(path, testMeta, testRows, nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -88,7 +93,7 @@ func TestSegmentChecksumDetectsFlip(t *testing.T) {
 		if err := os.WriteFile(path, bad, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := Read(path); !errors.Is(err, ErrCorrupt) {
+		if _, _, _, err := Read(path); !errors.Is(err, ErrCorrupt) {
 			t.Fatalf("flip at %d: err=%v, want ErrCorrupt", off, err)
 		}
 	}
@@ -96,14 +101,115 @@ func TestSegmentChecksumDetectsFlip(t *testing.T) {
 	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := Read(path); !errors.Is(err, ErrCorrupt) {
+	if _, _, _, err := Read(path); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("truncated segment: err=%v, want ErrCorrupt", err)
 	}
 	if err := os.WriteFile(path, []byte("nope"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := Read(path); !errors.Is(err, ErrCorrupt) {
+	if _, _, _, err := Read(path); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("bad magic: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestSegmentZoneFooterRoundTrip(t *testing.T) {
+	tb, err := table.New(testMeta.Name, testMeta.Columns, testRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zones := tb.ZoneSnapshot()
+	if len(zones) != len(testMeta.Columns) {
+		t.Fatalf("snapshot covers %d of %d columns", len(zones), len(testMeta.Columns))
+	}
+	path := filepath.Join(t.TempDir(), "zones.seg")
+	if err := Write(path, testMeta, testRows, zones); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	_, _, got, err := Read(path)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got) != len(zones) {
+		t.Fatalf("decoded %d zone columns, want %d", len(got), len(zones))
+	}
+	for c := range zones {
+		if len(got[c]) != len(zones[c]) {
+			t.Fatalf("col %d: %d zones, want %d", c, len(got[c]), len(zones[c]))
+		}
+		for i := range zones[c] {
+			w, g := zones[c][i], got[c][i]
+			sameNum := (g.Min == w.Min || (g.Min != g.Min && w.Min != w.Min)) &&
+				(g.Max == w.Max || (g.Max != g.Max && w.Max != w.Max))
+			if !sameNum || g.KeyMin != w.KeyMin || g.KeyMax != w.KeyMax ||
+				g.NumCount != w.NumCount || g.NaNCount != w.NaNCount || g.EmptyCount != w.EmptyCount {
+				t.Fatalf("col %d zone %d round trip: got %+v want %+v", c, i, g, w)
+			}
+		}
+	}
+	// The decoded footer must install cleanly on a rebuilt table.
+	tb2, err := table.New(testMeta.Name, testMeta.Columns, testRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2.InstallZoneMaps(got)
+	for c := range testMeta.Columns {
+		if !tb2.ZonesBuilt(c) {
+			t.Fatalf("col %d zones not installed from decoded footer", c)
+		}
+	}
+}
+
+func TestSegmentZoneFooterColumnMismatch(t *testing.T) {
+	// A footer covering a different number of columns than the header is
+	// structural corruption, even when the checksum passes.
+	tb, err := table.New(testMeta.Name, testMeta.Columns, testRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zones := tb.ZoneSnapshot()[:2]
+	path := filepath.Join(t.TempDir(), "bad-zones.seg")
+	if err := Write(path, testMeta, testRows, zones); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Read(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("partial zone footer: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestSegmentSchema1BackwardCompat(t *testing.T) {
+	// Hand-encode a schema-1 body (rows only, no zone footer): old
+	// segments written before the footer existed must still decode,
+	// with nil zones.
+	var body []byte
+	body = binary.AppendUvarint(body, schemaV1)
+	body = appendString(body, "legacy")
+	body = binary.AppendUvarint(body, 7)
+	body = appendString(body, "vv")
+	body = binary.AppendUvarint(body, 1) // ncols
+	body = appendString(body, "A")
+	body = binary.AppendUvarint(body, 2) // nrows
+	body = binary.AppendUvarint(body, 1) // dictLen
+	body = appendString(body, "x")
+	body = binary.AppendUvarint(body, 0) // row 0 -> dict[0]
+	body = binary.AppendUvarint(body, 0) // row 1 -> dict[0]
+
+	buf := make([]byte, 0, len(magic)+4+len(body))
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(body, castagnoli))
+	buf = append(buf, body...)
+	path := filepath.Join(t.TempDir(), "v1.seg")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, rows, zones, err := Read(path)
+	if err != nil {
+		t.Fatalf("schema-1 segment: %v", err)
+	}
+	if m.Name != "legacy" || m.Gen != 7 || m.Rows != 2 || len(rows) != 2 || rows[1][0] != "x" {
+		t.Fatalf("schema-1 decode: %+v, rows %v", m, rows)
+	}
+	if zones != nil {
+		t.Fatalf("schema-1 segment decoded zones: %v", zones)
 	}
 }
 

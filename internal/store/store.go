@@ -527,6 +527,21 @@ func (st *Store) RegisterMetrics(r *metric.Registry) {
 	if d != nil {
 		d.ckptLat.Store(h)
 	}
+
+	// Zone-map series, process-wide across all tables: builds is a
+	// monotonic counter of per-column constructions, bytes the resident
+	// footprint of currently published maps (charged as DerivedBytes).
+	r.CounterFunc("zonemap.builds", "zone maps built (per-column constructions)", func() uint64 {
+		builds, _ := table.ZoneMapStats()
+		return builds
+	})
+	r.GaugeFunc("zonemap.bytes", "resident bytes of published zone maps", func() int64 {
+		_, bytes := table.ZoneMapStats()
+		if bytes < 0 {
+			bytes = 0
+		}
+		return bytes
+	})
 }
 
 // Stats is a scrape-ready snapshot of the store's gauges.

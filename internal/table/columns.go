@@ -60,6 +60,7 @@ type atomicIndex = atomic.Pointer[numericIndex]
 func (t *Table) buildColumns(in *interner) {
 	t.cols = make([]columnData, len(t.columns))
 	t.numIdx = make([]atomicIndex, len(t.columns))
+	t.zones = make([]atomicZones, len(t.columns))
 	for c := range t.columns {
 		cd := &t.cols[c]
 		cd.keys = make([]string, len(t.rows))
@@ -172,3 +173,10 @@ func (t *Table) NumericSortedRows(c int) []int {
 	}
 	return rows
 }
+
+// NumericIndexBuilt reports whether column c currently has a published
+// sorted numeric index, without building one. The plan executor uses
+// it to choose between the index superlative path (when the index
+// already exists) and the cheaper zone-map path (when building the
+// index would cost a full sort).
+func (t *Table) NumericIndexBuilt(c int) bool { return t.numIdx[c].Load() != nil }

@@ -97,17 +97,27 @@ func (t *Table) memNotify(delta int64) {
 	}
 }
 
-// DropDerivedIndexes releases every built sorted numeric index,
-// returning the bytes freed. Base data (rows, columnar view, KB index)
-// is untouched: queries keep answering correctly and any dropped index
-// is rebuilt lazily on next use. This is the store's eviction
-// primitive for cold tables under memory pressure.
+// DropDerivedIndexes releases every built sorted numeric index and
+// zone map, returning the bytes freed. Base data (rows, columnar view,
+// KB index) is untouched: queries keep answering correctly and any
+// dropped structure is rebuilt lazily on next use. This is the store's
+// eviction primitive for cold tables under memory pressure.
 func (t *Table) DropDerivedIndexes() int64 {
 	var freed int64
 	for c := range t.numIdx {
 		if old := t.numIdx[c].Swap(nil); old != nil {
 			freed += indexBytes(len(old.rows))
 		}
+	}
+	var zoneFreed int64
+	for c := range t.zones {
+		if old := t.zones[c].Swap(nil); old != nil {
+			zoneFreed += zoneBytes(len(old.zones))
+		}
+	}
+	if zoneFreed > 0 {
+		zoneResidentBytes.Add(-zoneFreed)
+		freed += zoneFreed
 	}
 	if freed > 0 {
 		t.mem.derived.Add(-freed)

@@ -49,6 +49,10 @@ type Table struct {
 	// Entries are droppable under memory pressure (DropDerivedIndexes)
 	// and rebuilt on demand.
 	numIdx []atomicIndex
+	// zones holds the lazily built per-column zone maps (ZoneRows-block
+	// min/max summaries). Like numIdx they are droppable and rebuilt on
+	// demand; under Append they are maintained incrementally.
+	zones []atomicZones
 	// mem is the table's byte accounting: base footprint, currently
 	// built derived-index bytes, and the store's change hook.
 	mem memAccount
@@ -136,6 +140,7 @@ func (t *Table) Append(extra [][]string) (*Table, error) {
 		nt.raw = append(nt.raw, rawRow)
 	}
 	nt.finish(in)
+	nt.inheritZones(t)
 	return nt, nil
 }
 

@@ -38,6 +38,11 @@ type Tolerances struct {
 	// counts are far less noisy than wall-clock latency, so the
 	// tolerance is tight. Default 1.5.
 	MaxAllocsRatio float64
+	// MinMorselsSkipped floors the current run's skipped-morsel count —
+	// proof that zone-map data skipping engaged. Checked only when
+	// positive (the bigtable perf-gate leg sets 1); no default, since
+	// most mixes never touch the zone path.
+	MinMorselsSkipped int64
 	// MinAllocsFloor mutes the allocation check when both sides are
 	// below this many allocs/op (tiny runs are all driver overhead).
 	// Default 50.
@@ -143,6 +148,11 @@ func Compare(baseline, current *Report, tol Tolerances) []Violation {
 		}
 	}
 
+	if tol.MinMorselsSkipped > 0 && int64(current.MorselsSkipped) < tol.MinMorselsSkipped {
+		add("morsels_skipped", float64(baseline.MorselsSkipped), float64(current.MorselsSkipped), float64(tol.MinMorselsSkipped),
+			"zone-map data skipping did not engage: skipped-morsel count below the required floor")
+	}
+
 	checkLatency := func(metric string, base, cur, maxRatio float64) {
 		if base < tol.MinLatencyFloorMs && cur < tol.MinLatencyFloorMs {
 			return // both below the noise floor
@@ -214,6 +224,9 @@ func FormatComparison(baseline, current *Report) string {
 	row("throughput_ops_s", baseline.Throughput, current.Throughput)
 	if baseline.RowsPerSec > 0 || current.RowsPerSec > 0 {
 		row("rows_per_sec", baseline.RowsPerSec, current.RowsPerSec)
+	}
+	if baseline.MorselsSkipped > 0 || current.MorselsSkipped > 0 {
+		row("morsels_skipped", float64(baseline.MorselsSkipped), float64(current.MorselsSkipped))
 	}
 	row("latency_p50_ms", baseline.Latency.P50Ms, current.Latency.P50Ms)
 	row("latency_p90_ms", baseline.Latency.P90Ms, current.Latency.P90Ms)

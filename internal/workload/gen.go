@@ -108,17 +108,26 @@ var Mixes = []Mix{
 	{Name: "durable", About: "mutation-heavy churn for durability runs (every churn op crosses the WAL)", weights: []familyWeight{
 		{"churn", 50}, {"lookup", 20}, {"answer", 20}, {"aggregate", 10}}},
 	{Name: "bigtable", About: "scan-heavy answer-only traffic over the generated big table (needs a sized corpus)", weights: []familyWeight{
-		{"big_filter", 40}, {"big_superlative", 30}, {"big_aggregate", 30}}},
+		{"big_filter", 30}, {"big_superlative", 25}, {"big_aggregate", 25}, {"big_selective", 20}}},
+	{Name: "selective", About: "zone-map skipping probe: fused range and point predicates over the big table's monotone Seq column", weights: []familyWeight{
+		{"big_selective", 100}}},
 }
+
+// DefaultSelectivity is the match fraction of the big_selective
+// family's high-selectivity range predicates: 1% of the big table,
+// narrow enough that zone maps prove almost every 32768-row block
+// row-free. Generator.SetSelectivity (wtq-bench -selectivity)
+// overrides it.
+const DefaultSelectivity = 0.01
 
 // DefaultBigRows is the TableBig row count Generate falls back to for
 // mixes that reference the bigtable families; GenerateSized (and
 // wtq-bench's -big-rows flag) overrides it.
 const DefaultBigRows = 100_000
 
-// needsBig reports whether the mix draws any bigtable family, i.e.
+// NeedsBig reports whether the mix draws any bigtable family, i.e.
 // requires a corpus with TableBig.
-func (m Mix) needsBig() bool {
+func (m Mix) NeedsBig() bool {
 	for _, fw := range m.weights {
 		if strings.HasPrefix(fw.family, "big_") {
 			return true
@@ -164,6 +173,21 @@ type Generator struct {
 	corpus *Corpus
 	mix    Mix
 	total  int
+	// sel is the big_selective family's high-selectivity match
+	// fraction (DefaultSelectivity unless overridden).
+	sel float64
+}
+
+// SetSelectivity overrides the big_selective match fraction, clamped
+// to (0, 1], and returns the previous value. Different selectivities
+// draw different literals, so the op-set hash changes with it —
+// reports from different knob settings never diff silently.
+func (g *Generator) SetSelectivity(f float64) float64 {
+	prev := g.sel
+	if f > 0 && f <= 1 {
+		g.sel = f
+	}
+	return prev
 }
 
 // NewGenerator seeds a generator. The op stream depends only on
@@ -176,14 +200,14 @@ func NewGenerator(seed int64, mix Mix, corpus *Corpus) *Generator {
 	}
 	// Offset the stream seed so table content and query choices come
 	// from independent sequences even though both derive from one seed.
-	return &Generator{rng: rand.New(rand.NewSource(seed ^ 0x5e3779b97f4a7c15)), corpus: corpus, mix: mix, total: total}
+	return &Generator{rng: rand.New(rand.NewSource(seed ^ 0x5e3779b97f4a7c15)), corpus: corpus, mix: mix, total: total, sel: DefaultSelectivity}
 }
 
 // Generate is the one-shot convenience: corpus + n ops from a seed.
 // Mixes drawing bigtable families get a TableBig of DefaultBigRows.
 func Generate(seed int64, mix Mix, n int) (*Corpus, []Op) {
 	bigRows := 0
-	if mix.needsBig() {
+	if mix.NeedsBig() {
 		bigRows = DefaultBigRows
 	}
 	return GenerateSized(seed, mix, n, bigRows)
@@ -280,6 +304,8 @@ func (g *Generator) genFamily(family string) Op {
 	case "big_aggregate":
 		t := g.bigTable()
 		return Op{Kind: OpAnswer, Family: family, Table: t.Name(), Query: g.bigAggregateExpr(t).String(), ScanRows: t.NumRows()}
+	case "big_selective":
+		return g.bigSelectiveOp(g.bigTable())
 	default:
 		panic(fmt.Sprintf("unknown workload family %q", family))
 	}
@@ -318,6 +344,40 @@ func (g *Generator) bigSuperlativeExpr(t *table.Table) dcs.Expr {
 		Column:  pick(g.rng, textColumns),
 		Records: &dcs.ArgRecords{Max: g.rng.Intn(2) == 0, Records: records, Column: pick(g.rng, numericColumns)},
 	}
+}
+
+// bigSelectiveOp emits one predicate over the big table's monotone Seq
+// column as a fused mini-SQL range count — the shape the rewriter keeps
+// as Filter(Scan, And) over the scan, where the executor answers it
+// with zone-map data skipping. Half the draws are high-selectivity
+// ranges spanning sel·n rows (zones prove nearly every block row-free),
+// a quarter are the complementary low-selectivity wide ranges (zones
+// prove blocks all-match and bulk-fill them), and a quarter are
+// equality probes phrased as degenerate one-row ranges so they ride the
+// zone path rather than the KB posting-list pushdown. The HTTP fallback
+// Query is the equivalent DCS intersection of comparisons.
+func (g *Generator) bigSelectiveOp(t *table.Table) Op {
+	n := t.NumRows()
+	span := max(1, int(g.sel*float64(n)))
+	var lo, hi int
+	switch g.rng.Intn(4) {
+	case 0: // low-selectivity control: the complementary wide range
+		wide := max(1, n-span)
+		lo = g.rng.Intn(n - wide + 1)
+		hi = lo + wide - 1
+	case 1: // equality probe, as a point range
+		lo = g.rng.Intn(n)
+		hi = lo
+	default: // high-selectivity narrow range
+		lo = g.rng.Intn(n - span + 1)
+		hi = lo + span - 1
+	}
+	sql := fmt.Sprintf("SELECT COUNT(Index) FROM T WHERE Seq >= %d AND Seq <= %d", lo, hi)
+	q := &dcs.Aggregate{Fn: dcs.Count, Arg: &dcs.Intersect{
+		L: &dcs.Compare{Column: "Seq", Op: dcs.Ge, V: table.NumberValue(float64(lo))},
+		R: &dcs.Compare{Column: "Seq", Op: dcs.Le, V: table.NumberValue(float64(hi))},
+	}}
+	return Op{Kind: OpSQL, Family: "big_selective", Table: t.Name(), Query: q.String(), SQL: sql, ScanRows: n}
 }
 
 // bigAggregateExpr folds min/max/sum/avg/count over a projected

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"nlexplain/internal/engine"
+	"nlexplain/internal/table"
 )
 
 // ReportSchemaVersion gates Compare: reports with different schema
@@ -59,6 +60,14 @@ type Report struct {
 	// throughput the bigtable perf gate tracks.
 	ScannedRows int64   `json:"scanned_rows,omitempty"`
 	RowsPerSec  float64 `json:"rows_per_sec,omitempty"`
+
+	// MorselsSkipped / MorselsShortcut are the run's zone-map outcomes
+	// (deltas of the engine's counters across the run): 32768-row blocks
+	// proven row-free and skipped, and blocks proven all-match and
+	// bulk-filled. A bigtable run with selective traffic must move
+	// MorselsSkipped — the perf gate checks it.
+	MorselsSkipped  uint64 `json:"morsels_skipped,omitempty"`
+	MorselsShortcut uint64 `json:"morsels_shortcut,omitempty"`
 
 	// Counts maps outcome class (ok, client_error, timeout, overloaded,
 	// internal, transport) to op count; convenience totals below.
@@ -183,6 +192,8 @@ func (r *Report) attachAllocStats(before, after runtime.MemStats) {
 // the run's cache hit ratio from before/after counter deltas.
 func (r *Report) attachEngineStats(before, after engine.Stats) {
 	r.Engine = &after
+	r.MorselsSkipped = after.MorselsSkipped - before.MorselsSkipped
+	r.MorselsShortcut = after.MorselsShortcut - before.MorselsShortcut
 	hits := float64((after.ResultHits - before.ResultHits) +
 		(after.AnswerHits - before.AnswerHits) +
 		(after.ParseHits - before.ParseHits))
@@ -235,6 +246,13 @@ func (r *Report) Summary() string {
 		r.OpSetSize, r.OpSetHash)
 	if r.ScannedRows > 0 {
 		s += fmt.Sprintf("\n  scan: %d rows at %.0f rows/sec", r.ScannedRows, r.RowsPerSec)
+		if r.MorselsSkipped > 0 || r.MorselsShortcut > 0 {
+			// Skip ratio: the fraction of the declared scan rows that zone
+			// maps proved row-free without touching.
+			ratio := float64(r.MorselsSkipped) * float64(table.ZoneRows) / float64(r.ScannedRows)
+			s += fmt.Sprintf("\n  zone-skip: %d morsels skipped (%.1f%% of scan), %d bulk-filled",
+				r.MorselsSkipped, 100*ratio, r.MorselsShortcut)
+		}
 	}
 	if r.Server != nil {
 		s += fmt.Sprintf("\n  server: %d series", r.Server.Series)

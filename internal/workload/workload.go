@@ -60,6 +60,13 @@ var mixTables = []string{TableSmall, TableMid, TableLarge}
 // property tests, so every operator class has something to chew on).
 var corpusColumns = []string{"Nation", "City", "Year", "Games", "Result"}
 
+// bigColumns is the TableBig schema: the shared schema plus a monotone
+// numeric Seq column (Seq = row index). Because Seq is sorted, every
+// 32768-row zone holds a disjoint numeric range, which is what lets
+// the big_selective family's fused range predicates prove most zones
+// row-free — the workload the zone-map skipping gate measures.
+var bigColumns = append(append([]string{}, corpusColumns...), "Seq")
+
 var (
 	nations = []string{"Greece", "France", "China", "UK", "Brazil", "Fiji", "Tonga", "Samoa", "Nauru", "Tahiti"}
 	cities  = []string{"Athens", "Paris", "Beijing", "London", "Rio", "Suva", "Apia", "Sydney", "Tokyo", "Rome"}
@@ -124,9 +131,10 @@ func NewCorpusSized(seed int64, bigRows int) *Corpus {
 				strconv.Itoa(1896 + brng.Intn(40)*4),
 				strconv.Itoa(brng.Intn(1_000_000)),
 				results[brng.Intn(len(results))],
+				strconv.Itoa(r), // Seq: monotone, so zones are disjoint ranges
 			}
 		}
-		t, err := table.New(TableBig, corpusColumns, rows)
+		t, err := table.New(TableBig, bigColumns, rows)
 		if err != nil {
 			panic(fmt.Sprintf("building corpus table %s: %v", TableBig, err))
 		}

@@ -495,9 +495,13 @@ func TestBigtableSizedCorpusDeterministic(t *testing.T) {
 		t.Fatal("bigtable op stream not deterministic for a fixed seed")
 	}
 	tbl, _ := corpus.Table(TableBig)
+	sawSelective := false
 	for i, op := range opsA {
-		if op.Kind != OpAnswer {
-			t.Fatalf("op %d: kind = %v, want answer-only bigtable traffic", i, op.Kind)
+		// The answer-only families take the fast path; big_selective is
+		// mini-SQL so its fused range conjunction stays on the zone-map
+		// scan path in-process.
+		if op.Kind != OpAnswer && !(op.Kind == OpSQL && op.Family == "big_selective") {
+			t.Fatalf("op %d (%s): kind = %v, want answer or selective sql bigtable traffic", i, op.Family, op.Kind)
 		}
 		if op.Table != TableBig {
 			t.Fatalf("op %d: table = %q, want %q", i, op.Table, TableBig)
@@ -509,8 +513,33 @@ func TestBigtableSizedCorpusDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatalf("op %d (%s): query %q does not parse: %v", i, op.Family, op.Query, err)
 		}
-		if _, err := dcs.Execute(q, tbl); err != nil {
+		res, err := dcs.Execute(q, tbl)
+		if err != nil {
 			t.Fatalf("op %d (%s): query %q does not execute: %v", i, op.Family, op.Query, err)
 		}
+		if op.Kind == OpSQL {
+			// The SQL form and its DCS fallback must denote the same
+			// count, or HTTP and in-process runs measure different work.
+			sawSelective = true
+			sq, err := minisql.Parse(op.SQL)
+			if err != nil {
+				t.Fatalf("op %d: sql %q does not parse: %v", i, op.SQL, err)
+			}
+			rows, err := minisql.Exec(sq, tbl)
+			if err != nil {
+				t.Fatalf("op %d: sql %q does not execute: %v", i, op.SQL, err)
+			}
+			if len(rows.Data) != 1 || len(rows.Data[0]) != 1 {
+				t.Fatalf("op %d: sql %q returned %d rows, want a single count", i, op.SQL, len(rows.Data))
+			}
+			sqlCount := rows.Data[0][0].String()
+			dcsCount := res.Values[0].String()
+			if sqlCount != dcsCount {
+				t.Fatalf("op %d: sql count %s != dcs count %s (%q vs %q)", i, sqlCount, dcsCount, op.SQL, op.Query)
+			}
+		}
+	}
+	if !sawSelective {
+		t.Fatal("bigtable mix generated no big_selective ops in 120 draws")
 	}
 }
