@@ -34,7 +34,7 @@ BIG_ROWS          = 100000
 SKIP_MIN_GAIN     = 3
 PERF_FLAGS_BIG    = -max-p50-ratio 4 -max-p99-ratio 4 -min-throughput-ratio 0.2 -min-rows-ratio 0.5 -min-morsels-skipped 1 -summary $(PERF_SUMMARY_BIG)
 
-.PHONY: all build test vet fmt cover bench baseline baseline-big perf-gate metrics-lint store-stress bigtable-stress crash-stress fuzz-wal speedup skipgain serve ci
+.PHONY: all build test vet fmt cover bench baseline baseline-big perf-gate metrics-lint store-stress bigtable-stress crash-stress fault-stress fuzz-wal speedup skipgain serve ci
 
 all: build
 
@@ -106,6 +106,18 @@ bigtable-stress:
 # count.
 crash-stress:
 	WTQ_CRASH=1 $(GO) test -race -run TestCrashRecovery -count=1 -timeout 10m -v ./cmd/wtq-server/
+
+# fault-stress is the degraded-mode gate: the seeded chaos workload
+# (50 cycles x -count=2 = 100 fault/recovery episodes under the race
+# detector), the store's degraded-lifecycle suite, the HTTP 503
+# envelope test, and the WAL/segment fault-schedule tests. Every
+# episode must lose zero acked mutations, fail fast while degraded,
+# and recover in bound. Set WTQ_CHAOS_CYCLES to change the episode
+# count.
+fault-stress:
+	WTQ_CHAOS_CYCLES=$${WTQ_CHAOS_CYCLES:-50} $(GO) test -race -count=2 -timeout 10m \
+		-run 'TestChaos|TestStoreDegraded|TestStoreClose|TestServerDegraded|TestWALFault|TestWALTorn|TestWALLying|TestSegmentWriteFault|TestSegmentZonesSurvive|TestManifestTorn' \
+		./internal/workload/ ./internal/store/ ./internal/wal/ ./internal/segment/ ./cmd/wtq-server/
 
 # fuzz-wal runs the WAL replay fuzzer for a bounded window: any input
 # must either recover (torn tails truncated) or be rejected as corrupt

@@ -11,6 +11,10 @@
 //	skipgain  time selective big-table range counts with zone-map
 //	          skipping off vs on, verify identical answers, and gate on
 //	          the high-selectivity speedup
+//	chaos     drive seeded fault/recovery cycles against a durable
+//	          engine over a fault-injecting filesystem and gate on the
+//	          degradation contract (no acked mutation lost, fail-fast
+//	          while degraded, recovery within bound)
 //
 // Examples:
 //
@@ -22,6 +26,7 @@
 //	wtq-bench compare -max-p99-ratio 1.5 bench_baseline.json report.json
 //	wtq-bench speedup -rows 1000000 -exec-workers 8 -summary perf_summary.txt
 //	wtq-bench skipgain -rows 1000000 -min-gain 3 -summary perf_summary.txt
+//	wtq-bench chaos -seed 7 -cycles 25 -recovery-bound 10s
 //
 // The mixed mix (the CI gate) includes the churn family: each churn op
 // exercises the full table lifecycle (register, explain, PATCH-append,
@@ -61,7 +66,7 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-const usage = `usage: wtq-bench <run|baseline|compare|speedup|skipgain> [flags]
+const usage = `usage: wtq-bench <run|baseline|compare|speedup|skipgain|chaos> [flags]
 
   run       drive a workload and write a JSON report
   baseline  run with CI-canonical settings, writing bench_baseline.json
@@ -70,6 +75,8 @@ const usage = `usage: wtq-bench <run|baseline|compare|speedup|skipgain> [flags]
             identical results and report the speedup
   skipgain  run selective big-table range counts with zone-map skipping
             off vs on, verify identical answers and report the gain
+  chaos     drive seeded fault/recovery cycles against a durable engine
+            and exit 1 if the degradation contract is violated
 
 run 'wtq-bench <subcommand> -h' for flags`
 
@@ -91,6 +98,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdSpeedup(args[1:], stdout, stderr)
 	case "skipgain":
 		return cmdSkipgain(args[1:], stdout, stderr)
+	case "chaos":
+		return cmdChaos(args[1:], stdout, stderr)
 	case "-h", "--help", "help":
 		fmt.Fprintln(stdout, usage)
 		return 0
@@ -564,6 +573,48 @@ func cmdSkipgain(args []string, stdout, stderr io.Writer) int {
 	}
 	if *minGain > 0 && worst < *minGain {
 		fmt.Fprintf(stdout, "FAIL: worst high-selectivity gain %.2fx below required %.2fx\n", worst, *minGain)
+		return 1
+	}
+	return 0
+}
+
+func cmdChaos(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "chaos seed; same seed -> same mutations and fault schedules")
+	cycles := fs.Int("cycles", 10, "fault/recovery episodes to drive")
+	dir := fs.String("dir", "", "engine data directory (default: a fresh temp dir, removed on success)")
+	bound := fs.Duration("recovery-bound", 30*time.Second, "fail an episode whose recovery takes longer")
+	muts := fs.Int("mutations", 6, "healthy mutations per cycle")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	dataDir := *dir
+	if dataDir == "" {
+		tmp, err := os.MkdirTemp("", "wtq-chaos-*")
+		if err != nil {
+			fmt.Fprintf(stderr, "wtq-bench: temp dir: %v\n", err)
+			return 1
+		}
+		defer os.RemoveAll(tmp)
+		dataDir = tmp
+	}
+
+	rep, err := workload.RunChaos(workload.ChaosOptions{
+		Seed:              *seed,
+		Cycles:            *cycles,
+		Dir:               dataDir,
+		RecoveryBound:     *bound,
+		MutationsPerCycle: *muts,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "wtq-bench: chaos: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, rep)
+	if len(rep.Violations) != 0 {
+		fmt.Fprintf(stdout, "FAIL: %d contract violation(s)\n", len(rep.Violations))
 		return 1
 	}
 	return 0

@@ -14,7 +14,7 @@
 //	POST   /v1/explain/batch {queries: [{table, query}...], timeout_ms} -> in-order results
 //	POST   /v1/answer        {table, query} -> denotation only (answer-only fast path)
 //	POST   /v1/parse         {table, question, top_k} -> ranked candidate queries
-//	GET    /v1/healthz       liveness + table count
+//	GET    /v1/healthz       liveness + table count; 503 {"status":"degraded"} while read-only
 //	GET    /v1/stats         flat engine counters (compatibility shim over the registry)
 //	GET    /metrics          Prometheus text exposition of the full metric registry
 //	GET    /debug/pprof/*    net/http/pprof profiles (only with -pprof)
@@ -24,9 +24,9 @@
 //	{"error": {"code": "<machine_code>", "message": "..."}}
 //
 // with stable codes: bad_request, unknown_table, too_large,
-// deadline_exceeded, canceled, overloaded, internal. (The deprecated
-// flat "error_string" mirror announced one release ago has been
-// dropped; read error.code/error.message.)
+// deadline_exceeded, canceled, overloaded, unavailable, internal. (The
+// deprecated flat "error_string" mirror announced one release ago has
+// been dropped; read error.code/error.message.)
 //
 // Observability: every endpoint is instrumented with
 // server.http.<endpoint>.{requests,errors,latency.seconds} series on
@@ -51,6 +51,17 @@
 // the unsynced group-commit window. SIGINT/SIGTERM shut down
 // gracefully, flushing and fsyncing the log. Without -data-dir the
 // store is purely in-memory, as before.
+//
+// Fault tolerance: a durability fault (failed WAL write or fsync) does
+// not take the node down. The store seals the damaged log and enters
+// degraded read-only mode — reads keep serving from the in-memory
+// snapshots, mutations fail fast with 503 code "unavailable" and a
+// Retry-After header, /v1/healthz flips to 503 {"status":"degraded",
+// "reason":...} so load balancers drain the node, and a background
+// recovery loop retries with capped exponential backoff until a fresh
+// log verifies durable, at which point everything returns to normal.
+// Watch store.degraded, store.faults.durability and
+// store.recovery.{attempts,successes} on GET /metrics.
 //
 // Run `wtq-server -demo` to start with the paper's Figure 1 olympics
 // table pre-registered; see examples/server for a curl transcript.
@@ -224,6 +235,7 @@ const (
 	codeCanceled         = "canceled"
 	codeOverloaded       = "overloaded"
 	codeInternal         = "internal"
+	codeUnavailable      = "unavailable"
 )
 
 // errorInfo is the structured error of the unified envelope.
@@ -257,6 +269,8 @@ func errStatus(err error) int {
 		return 499
 	case errors.Is(err, nlexplain.ErrUnknownTable):
 		return http.StatusNotFound
+	case errors.Is(err, nlexplain.ErrUnavailable):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, nlexplain.ErrInternal):
 		return http.StatusInternalServerError
 	case errors.Is(err, nlexplain.ErrOverloaded):
@@ -276,6 +290,8 @@ func errCode(err error) string {
 		return codeCanceled
 	case errors.Is(err, nlexplain.ErrUnknownTable):
 		return codeUnknownTable
+	case errors.Is(err, nlexplain.ErrUnavailable):
+		return codeUnavailable
 	case errors.Is(err, nlexplain.ErrInternal):
 		return codeInternal
 	case errors.Is(err, nlexplain.ErrOverloaded):
@@ -297,8 +313,13 @@ func errMessage(err error) string {
 }
 
 // writePipelineError books a pipeline failure onto the wire with its
-// mapped status, stable code and sanitized message.
+// mapped status, stable code and sanitized message. Unavailable
+// rejections (degraded store) carry a Retry-After so well-behaved
+// clients and load balancers pace their retries.
 func writePipelineError(w http.ResponseWriter, err error) {
+	if errors.Is(err, nlexplain.ErrUnavailable) {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeError(w, errStatus(err), errCode(err), "%s", errMessage(err))
 }
 
@@ -356,10 +377,11 @@ func (s *server) handleRegisterTable(w http.ResponseWriter, r *http.Request) {
 		info, err = s.engine.RegisterRaw(req.Name, req.Columns, req.Rows)
 	}
 	if err != nil {
-		// A WAL write failure is a server fault, not a payload problem:
-		// route it through the pipeline mapping (500/internal) instead of
-		// blaming the client with a 400.
-		if errors.Is(err, nlexplain.ErrInternal) {
+		// A WAL write failure or degraded-mode rejection is a server
+		// fault, not a payload problem: route it through the pipeline
+		// mapping (503/unavailable or 500/internal) instead of blaming
+		// the client with a 400.
+		if errors.Is(err, nlexplain.ErrInternal) || errors.Is(err, nlexplain.ErrUnavailable) {
 			writePipelineError(w, err)
 			return
 		}
@@ -408,6 +430,9 @@ func (s *server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := s.engine.AppendRows(name, req.Rows)
 	if err != nil {
+		if errors.Is(err, nlexplain.ErrUnavailable) {
+			w.Header().Set("Retry-After", "1")
+		}
 		writeError(w, errStatus(err), errCode(err), "appending to table: %s", errMessage(err))
 		return
 	}
@@ -544,7 +569,19 @@ func (s *server) handleParse(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"question": req.Question, "candidates": cands})
 }
 
+// handleHealthz reports serving health. While the durable store is in
+// degraded read-only mode it answers 503 with the episode's reason and
+// a Retry-After, so load balancers drain the node until the background
+// recovery loop lifts the degradation; reads still serve in between.
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := s.engine.Health()
+	if h.Status != "ok" {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": h.Status, "reason": h.Reason, "tables": len(s.engine.Tables()),
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "tables": len(s.engine.Tables())})
 }
 

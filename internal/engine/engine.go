@@ -25,9 +25,11 @@ import (
 
 	"nlexplain/internal/dcs"
 	"nlexplain/internal/export"
+	"nlexplain/internal/fault"
 	"nlexplain/internal/plan"
 	"nlexplain/internal/provenance"
 	"nlexplain/internal/render"
+	"nlexplain/internal/retry"
 	"nlexplain/internal/semparse"
 	"nlexplain/internal/store"
 	"nlexplain/internal/table"
@@ -87,6 +89,13 @@ type Options struct {
 	// past it (0 = store default of 8MiB; negative disables). Ignored
 	// without DataDir.
 	CheckpointBytes int64
+	// FS is the filesystem the durability layer performs all I/O
+	// through. nil means the real OS; tests and chaos runs inject a
+	// fault.InjectFS. Ignored without DataDir.
+	FS fault.FS
+	// RecoveryBackoff paces the store's degraded-mode recovery loop
+	// (zero value = retry package defaults). Ignored without DataDir.
+	RecoveryBackoff retry.Backoff
 }
 
 func (o Options) withDefaults() Options {
@@ -121,6 +130,13 @@ var ErrInternal = errors.New("internal pipeline failure")
 // MaxPending uncached computations are already running or queued;
 // clients should back off and retry. Match it with errors.Is.
 var ErrOverloaded = errors.New("engine overloaded")
+
+// ErrUnavailable reports a mutation rejected because the durable store
+// cannot persist it — a durability fault, or degraded read-only mode
+// while recovery retries in the background. Reads keep serving; the
+// client should back off and retry the mutation (HTTP 503 +
+// Retry-After). Match it with errors.Is.
+var ErrUnavailable = errors.New("store unavailable, retry later")
 
 // Engine is the concurrent explanation pipeline. It is safe for
 // concurrent use; cached *Explanation values are shared between callers
@@ -188,6 +204,8 @@ func Open(opts Options) (*Engine, error) {
 			SyncWindow:         opts.WALSyncWindow,
 			CheckpointInterval: opts.CheckpointInterval,
 			CheckpointBytes:    opts.CheckpointBytes,
+			FS:                 opts.FS,
+			RecoveryBackoff:    opts.RecoveryBackoff,
 		})
 		if err != nil {
 			return nil, err
@@ -271,7 +289,7 @@ func infoOf(s *store.Snapshot) TableInfo {
 // purges the displaced version's entries from every cache. On a
 // durable engine the registration is fsync-durable before it returns;
 // a failure to persist fails the mutation (nothing installed) with an
-// ErrInternal-classed error.
+// ErrUnavailable-classed error.
 func (e *Engine) RegisterTable(t *table.Table) (TableInfo, error) {
 	snap, err := e.store.Register(t)
 	if err != nil {
@@ -291,15 +309,32 @@ func (e *Engine) RegisterRaw(name string, columns []string, rows [][]string) (Ta
 }
 
 // mapStoreErr classifies store mutation failures for transport: a
-// durability failure is a server-side fault (5xx), not a client
-// mistake, so it is wrapped as ErrInternal while staying matchable as
-// store.ErrDurability.
+// durability failure — including the degraded-mode fail-fast — means
+// the store cannot accept writes right now but reads still serve, so
+// it is wrapped as ErrUnavailable (HTTP 503 + Retry-After) while
+// staying matchable as store.ErrDurability / store.ErrDegraded.
 func (e *Engine) mapStoreErr(err error) error {
 	if errors.Is(err, store.ErrDurability) {
 		e.met.errors.Inc()
-		return fmt.Errorf("%w: %w", ErrInternal, err)
+		return fmt.Errorf("%w: %w", ErrUnavailable, err)
 	}
 	return err
+}
+
+// Health describes the engine's serving state: "ok", or "degraded"
+// with the durability fault that started the episode while the store
+// is read-only and recovery retries in the background.
+type Health struct {
+	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// Health reports the engine's current serving state.
+func (e *Engine) Health() Health {
+	if degraded, reason := e.store.Degraded(); degraded {
+		return Health{Status: "degraded", Reason: reason}
+	}
+	return Health{Status: "ok"}
 }
 
 // AppendRows installs a copy-on-write successor of a registered table

@@ -1,0 +1,292 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"nlexplain/internal/metric"
+)
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	if err := OS.MkdirAll(filepath.Join(dir, "a", "b"), 0o755); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	path := filepath.Join(dir, "a", "b", "f.txt")
+	f, err := OS.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Truncate(4); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatalf("Seek: %v", err)
+	}
+	buf := make([]byte, 8)
+	n, _ := f.Read(buf)
+	if string(buf[:n]) != "hell" {
+		t.Fatalf("Read = %q, want %q", buf[:n], "hell")
+	}
+	if f.Name() != path {
+		t.Fatalf("Name = %q, want %q", f.Name(), path)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if data, err := OS.ReadFile(path); err != nil || string(data) != "hell" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if _, err := OS.Stat(path); err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	dst := filepath.Join(dir, "a", "b", "g.txt")
+	if err := OS.Rename(path, dst); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := OS.SyncDir(filepath.Join(dir, "a", "b")); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	ents, err := OS.ReadDir(filepath.Join(dir, "a", "b"))
+	if err != nil || len(ents) != 1 || ents[0].Name() != "g.txt" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := OS.Remove(dst); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	tmp, err := OS.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		t.Fatalf("CreateTemp: %v", err)
+	}
+	tmp.Close()
+	os.Remove(tmp.Name())
+	if Or(nil) != OS {
+		t.Fatal("Or(nil) != OS")
+	}
+}
+
+func TestInjectFailNthWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInject(OS, 1, &Rule{Op: OpWrite, AfterN: 2, Err: syscall.ENOSPC})
+	f, err := fs.OpenFile(filepath.Join(dir, "w.log"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer f.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("boom")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("3rd write err = %v, want ENOSPC", err)
+	}
+	// One-shot: the next write succeeds again.
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("4th write: %v", err)
+	}
+	st := fs.Stats()
+	if st.Faults[OpWrite] != 1 || st.Ops[OpWrite] != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInjectStickyAndHeal(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInject(OS, 1, &Rule{Op: OpSync, Count: Sticky})
+	f, err := fs.OpenFile(filepath.Join(dir, "s.log"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer f.Close()
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+			t.Fatalf("sync %d err = %v, want sticky EIO", i, err)
+		}
+	}
+	fs.Heal()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("post-heal sync: %v", err)
+	}
+	if got := fs.Stats().Total(); got != 3 {
+		t.Fatalf("total faults = %d, want 3", got)
+	}
+}
+
+func TestInjectShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInject(OS, 1, &Rule{Op: OpWrite, Err: syscall.ENOSPC, ShortWrite: true})
+	path := filepath.Join(dir, "torn.log")
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	payload := []byte("0123456789")
+	n, werr := f.Write(payload)
+	if !errors.Is(werr, syscall.ENOSPC) {
+		t.Fatalf("write err = %v, want ENOSPC", werr)
+	}
+	if n == 0 || n >= len(payload) {
+		t.Fatalf("short write landed %d of %d bytes", n, len(payload))
+	}
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(data) != n || !strings.HasPrefix(string(payload), string(data)) {
+		t.Fatalf("on disk %q (%d bytes), want %d-byte prefix of %q", data, len(data), n, payload)
+	}
+}
+
+func TestInjectSilentSync(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInject(OS, 1, &Rule{Op: OpSync, SilentSync: true})
+	f, err := fs.OpenFile(filepath.Join(dir, "lie.log"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("lying sync returned %v, want nil", err)
+	}
+	st := fs.Stats()
+	if st.Faults[OpSync] != 1 {
+		t.Fatalf("lying sync not counted as a fault: %+v", st)
+	}
+}
+
+func TestInjectPathGlob(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInject(OS, 1, &Rule{Op: OpWrite, Path: "wal-*.log", Count: Sticky})
+	w, err := fs.OpenFile(filepath.Join(dir, "wal-0001.log"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile wal: %v", err)
+	}
+	defer w.Close()
+	s, err := fs.OpenFile(filepath.Join(dir, "seg-0001.seg"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile seg: %v", err)
+	}
+	defer s.Close()
+	if _, err := w.Write([]byte("x")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("wal write err = %v, want EIO", err)
+	}
+	if _, err := s.Write([]byte("x")); err != nil {
+		t.Fatalf("seg write err = %v, want nil", err)
+	}
+}
+
+func TestInjectProbabilityDeterministic(t *testing.T) {
+	count := func(seed int64) int {
+		fs := NewInject(OS, seed, &Rule{Op: OpMeta, Prob: 0.5, Count: Sticky})
+		n := 0
+		for i := 0; i < 200; i++ {
+			if _, err := fs.Stat("nope"); err != nil && !errors.Is(err, os.ErrNotExist) {
+				n++
+			}
+		}
+		return n
+	}
+	a, b := count(42), count(42)
+	if a != b {
+		t.Fatalf("same seed diverged: %d vs %d", a, b)
+	}
+	if a < 50 || a > 150 {
+		t.Fatalf("p=0.5 fired %d/200 times", a)
+	}
+	if c := count(43); c == a {
+		t.Logf("different seeds coincided at %d (possible but unlikely)", c)
+	}
+}
+
+func TestInjectRenameAndMeta(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInject(OS, 1,
+		&Rule{Op: OpRename, Path: "MANIFEST"},
+		&Rule{Op: OpMeta, Path: "blocked*"},
+	)
+	src := filepath.Join(dir, "MANIFEST.tmp1")
+	if err := os.WriteFile(src, []byte("m"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(src, filepath.Join(dir, "MANIFEST")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("rename err = %v, want EIO", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "MANIFEST")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("torn rename must not land the destination: %v", err)
+	}
+	if _, err := fs.Stat(filepath.Join(dir, "blocked.txt")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("stat err = %v, want EIO", err)
+	}
+	if err := fs.MkdirAll(filepath.Join(dir, "fine"), 0o755); err != nil {
+		t.Fatalf("mkdir err = %v, want nil", err)
+	}
+}
+
+func TestInjectLatency(t *testing.T) {
+	fs := NewInject(OS, 1, &Rule{Op: OpMeta, Latency: 20 * time.Millisecond, Count: Sticky})
+	start := time.Now()
+	fs.Stat(filepath.Join(t.TempDir(), "x"))
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("latency rule injected only %v", d)
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	rules, err := ParsePlan("wal-*.log:write:after=3:err=ENOSPC:short; sync:p=0.05:sticky:err=EIO; MANIFEST:rename:count=2; meta:latency=5ms; sync:lie")
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	if len(rules) != 5 {
+		t.Fatalf("got %d rules, want 5", len(rules))
+	}
+	r := rules[0]
+	if r.Path != "wal-*.log" || r.Op != OpWrite || r.AfterN != 3 || !errors.Is(r.errOr(), syscall.ENOSPC) || !r.ShortWrite || r.Count != 0 {
+		t.Fatalf("rule 0 = %+v (%s)", r, r)
+	}
+	r = rules[1]
+	if r.Op != OpSync || r.Prob != 0.05 || r.Count != Sticky || !errors.Is(r.errOr(), syscall.EIO) {
+		t.Fatalf("rule 1 = %+v", r)
+	}
+	if rules[2].Count != 1 { // count=2 → one fire past the first
+		t.Fatalf("rule 2 count = %d", rules[2].Count)
+	}
+	if rules[3].Latency != 5*time.Millisecond {
+		t.Fatalf("rule 3 latency = %v", rules[3].Latency)
+	}
+	if !rules[4].SilentSync {
+		t.Fatalf("rule 4 = %+v", rules[4])
+	}
+
+	for _, bad := range []string{
+		"", "bogus", "write:after=x", "write:p=2", "write:count=0",
+		"write:err=EPERM", "write:lie", "read:latency=-1s", "x:y:z",
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestInjectMetrics(t *testing.T) {
+	fs := NewInject(OS, 1, MustParsePlan("meta:sticky")...)
+	r := metric.NewRegistry()
+	fs.RegisterMetrics(r.Sub("fault"))
+	fs.Stat("x")
+	snap := r.Snapshot()
+	if snap["fault.ops.meta"] != uint64(1) || snap["fault.injected.meta"] != uint64(1) {
+		t.Fatalf("metric snapshot = %v", snap)
+	}
+}

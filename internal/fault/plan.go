@@ -1,0 +1,148 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// ParsePlan parses the compact textual fault-plan grammar into rules.
+// Rules are separated by ";", fields within a rule by ":":
+//
+//	[glob:]op[:field]...
+//
+// op is one of open, read, write, sync, rename, remove, meta, any. The
+// leading token is a path glob iff it is not an op keyword. Fields:
+//
+//	after=N      skip the first N matching ops
+//	p=F          fire with probability F (default: always)
+//	count=N      fire at most N times (default 1)
+//	sticky       never exhaust (count=-1)
+//	err=NAME     EIO (default) or ENOSPC
+//	short        torn write: persist ~half the buffer, then fail
+//	lie          fsync returns success without syncing
+//	latency=DUR  inject a time.ParseDuration delay on every match
+//
+// Example:
+//
+//	wal-*.log:write:after=3:err=ENOSPC:short; sync:p=0.05:sticky:err=EIO
+func ParsePlan(s string) ([]*Rule, error) {
+	var rules []*Rule
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return nil, fmt.Errorf("fault: plan %q: %w", part, err)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("fault: empty plan")
+	}
+	return rules, nil
+}
+
+// MustParsePlan is ParsePlan for hand-written plans in tests; it
+// panics on a syntax error.
+func MustParsePlan(s string) []*Rule {
+	rules, err := ParsePlan(s)
+	if err != nil {
+		panic(err)
+	}
+	return rules
+}
+
+func parseRule(s string) (*Rule, error) {
+	fields := strings.Split(s, ":")
+	r := &Rule{}
+	i := 0
+	if op, ok := opKeyword(fields[0]); ok {
+		r.Op = op
+		i = 1
+	} else {
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("missing op (got %q)", fields[0])
+		}
+		op, ok := opKeyword(fields[1])
+		if !ok {
+			return nil, fmt.Errorf("unknown op %q", fields[1])
+		}
+		r.Path = strings.TrimSpace(fields[0])
+		r.Op = op
+		i = 2
+	}
+	for ; i < len(fields); i++ {
+		f := strings.TrimSpace(fields[i])
+		key, val, hasVal := strings.Cut(f, "=")
+		switch key {
+		case "after":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad after=%q", val)
+			}
+			r.AfterN = n
+		case "p":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p <= 0 || p > 1 {
+				return nil, fmt.Errorf("bad p=%q (want (0,1])", val)
+			}
+			r.Prob = p
+		case "count":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad count=%q", val)
+			}
+			// Rule.Count bounds additional fires past the first.
+			r.Count = n - 1
+		case "sticky":
+			if hasVal {
+				return nil, fmt.Errorf("sticky takes no value")
+			}
+			r.Count = Sticky
+		case "err":
+			switch strings.ToUpper(val) {
+			case "EIO":
+				r.Err = syscall.EIO
+			case "ENOSPC":
+				r.Err = syscall.ENOSPC
+			default:
+				return nil, fmt.Errorf("unknown err=%q (want EIO or ENOSPC)", val)
+			}
+		case "short":
+			if hasVal {
+				return nil, fmt.Errorf("short takes no value")
+			}
+			r.ShortWrite = true
+		case "lie":
+			if hasVal {
+				return nil, fmt.Errorf("lie takes no value")
+			}
+			r.SilentSync = true
+		case "latency":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("bad latency=%q", val)
+			}
+			r.Latency = d
+		default:
+			return nil, fmt.Errorf("unknown field %q", f)
+		}
+	}
+	if r.SilentSync && r.Op != OpSync && r.Op != OpAny {
+		return nil, fmt.Errorf("lie only applies to sync rules")
+	}
+	return r, nil
+}
+
+func opKeyword(s string) (Op, bool) {
+	switch Op(strings.TrimSpace(s)) {
+	case OpOpen, OpRead, OpWrite, OpSync, OpRename, OpRemove, OpMeta, OpAny:
+		return Op(strings.TrimSpace(s)), true
+	}
+	return "", false
+}

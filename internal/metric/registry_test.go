@@ -65,8 +65,13 @@ var wantNames = []string{
 	"store.checkpoint.errors",
 	"store.checkpoint.generation",
 	"store.checkpoint.latency.seconds",
+	"store.degraded",
+	"store.degraded.episodes",
 	"store.evictions",
+	"store.faults.durability",
 	"store.generation",
+	"store.recovery.attempts",
+	"store.recovery.successes",
 	"store.tables",
 	"store.wal.appended.bytes",
 	"store.wal.appends",

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"nlexplain/internal/fault"
 )
 
 // ManifestName is the manifest's filename inside a data directory.
@@ -40,17 +42,26 @@ type Manifest struct {
 // + dir fsync): a crash leaves either the previous manifest or the
 // new one, never a torn mix.
 func WriteManifest(dir string, m *Manifest) error {
+	return WriteManifestFS(fault.OS, dir, m)
+}
+
+// WriteManifestFS is WriteManifest performing all I/O through fsys
+// (nil means the OS passthrough). A fault injected on the rename
+// leaves the previous manifest intact — the property the torn-replace
+// tests pin.
+func WriteManifestFS(fsys fault.FS, dir string, m *Manifest) error {
+	fsys = fault.Or(fsys)
 	m.Schema = schemaManifest
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
-	tmp, err := os.CreateTemp(dir, ManifestName+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, ManifestName+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
+	defer fsys.Remove(tmp.Name())
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return err
@@ -62,16 +73,22 @@ func WriteManifest(dir string, m *Manifest) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, ManifestName)); err != nil {
+	if err := fsys.Rename(tmp.Name(), filepath.Join(dir, ManifestName)); err != nil {
 		return err
 	}
-	return syncDir(dir)
+	return fsys.SyncDir(dir)
 }
 
 // LoadManifest reads dir's manifest. ok is false when none exists yet
 // (a fresh data directory).
 func LoadManifest(dir string) (m *Manifest, ok bool, err error) {
-	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	return LoadManifestFS(fault.OS, dir)
+}
+
+// LoadManifestFS is LoadManifest reading through fsys (nil means the
+// OS passthrough).
+func LoadManifestFS(fsys fault.FS, dir string) (m *Manifest, ok bool, err error) {
+	data, err := fault.Or(fsys).ReadFile(filepath.Join(dir, ManifestName))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, false, nil
 	}

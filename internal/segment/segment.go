@@ -38,9 +38,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
-	"os"
 	"path/filepath"
 
+	"nlexplain/internal/fault"
 	"nlexplain/internal/table"
 )
 
@@ -73,6 +73,13 @@ type Meta struct {
 // columns wide) persisted in the checksummed footer. The slices are
 // read, never retained.
 func Write(path string, m Meta, rows [][]string, zones [][]table.Zone) error {
+	return WriteFS(fault.OS, path, m, rows, zones)
+}
+
+// WriteFS is Write performing all I/O through fsys (nil means the OS
+// passthrough).
+func WriteFS(fsys fault.FS, path string, m Meta, rows [][]string, zones [][]table.Zone) error {
+	fsys = fault.Or(fsys)
 	body := appendBody(nil, m, rows, zones)
 	buf := make([]byte, 0, len(magic)+4+len(body))
 	buf = append(buf, magic...)
@@ -80,11 +87,11 @@ func Write(path string, m Meta, rows [][]string, zones [][]table.Zone) error {
 	buf = append(buf, body...)
 
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
+	defer fsys.Remove(tmp.Name())
 	if _, err := tmp.Write(buf); err != nil {
 		tmp.Close()
 		return err
@@ -96,10 +103,10 @@ func Write(path string, m Meta, rows [][]string, zones [][]table.Zone) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
-	return syncDir(dir)
+	return fsys.SyncDir(dir)
 }
 
 func appendBody(b []byte, m Meta, rows [][]string, zones [][]table.Zone) []byte {
@@ -159,8 +166,14 @@ func appendBody(b []byte, m Meta, rows [][]string, zones [][]table.Zone) []byte 
 // zones is the decoded per-column zone footer — nil for schema-1
 // segments or a schema-2 footer written without zones.
 func Read(path string) (Meta, [][]string, [][]table.Zone, error) {
+	return ReadFS(fault.OS, path)
+}
+
+// ReadFS is Read performing all I/O through fsys (nil means the OS
+// passthrough).
+func ReadFS(fsys fault.FS, path string) (Meta, [][]string, [][]table.Zone, error) {
 	var m Meta
-	data, err := os.ReadFile(path)
+	data, err := fault.Or(fsys).ReadFile(path)
 	if err != nil {
 		return m, nil, nil, err
 	}
@@ -315,17 +328,4 @@ func (d *decoder) string() string {
 func appendString(b []byte, s string) []byte {
 	b = binary.AppendUvarint(b, uint64(len(s)))
 	return append(b, s...)
-}
-
-// syncDir fsyncs a directory so renames into it are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
 }

@@ -1,0 +1,186 @@
+package store
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+
+	"nlexplain/internal/fault"
+	"nlexplain/internal/retry"
+)
+
+// openInjected opens a durable store over an InjectFS with a fast
+// deterministic recovery backoff, synchronous WAL writes and automatic
+// checkpoints disabled.
+func openInjected(t *testing.T, dir string, fs *fault.InjectFS) *Store {
+	t.Helper()
+	st, err := Open(Options{}, DurableOptions{
+		Dir:                dir,
+		SyncWindow:         -1,
+		CheckpointInterval: -1,
+		CheckpointBytes:    -1,
+		FS:                 fs,
+		RecoveryBackoff:    retry.Backoff{Base: time.Millisecond, Max: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return st
+}
+
+// waitHealthy polls until the store leaves degraded mode.
+func waitHealthy(t *testing.T, st *Store, bound time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(bound)
+	for {
+		if degraded, _ := st.Degraded(); !degraded {
+			return
+		}
+		if time.Now().After(deadline) {
+			_, reason := st.Degraded()
+			t.Fatalf("still degraded after %v: %s", bound, reason)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStoreDegradedRecovery is the full degraded-mode life cycle: a
+// sticky WAL fault flips the store read-only, reads keep serving,
+// mutations fail fast, healing the filesystem lets the backoff loop
+// recover, and a clean reopen on the real OS sees every acked
+// mutation.
+func TestStoreDegradedRecovery(t *testing.T) {
+	dir := t.TempDir()
+	fs := fault.NewInject(fault.OS, 7)
+	st := openInjected(t, dir, fs)
+
+	if _, err := st.Register(mustTable(t, "a", 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Register(mustTable(t, "b", 3)); err != nil {
+		t.Fatal(err)
+	}
+	acked := captureState(st)
+
+	// Seal the log: every write to any wal file now fails.
+	fs.SetRules(&fault.Rule{Op: fault.OpWrite, Path: "wal-*.log", Count: fault.Sticky, Err: syscall.EIO})
+
+	_, err := st.Register(mustTable(t, "c", 2))
+	if !errors.Is(err, ErrDurability) {
+		t.Fatalf("faulted register err = %v, want ErrDurability", err)
+	}
+	if errors.Is(err, ErrDegraded) {
+		t.Fatalf("first fault should surface the I/O error, not the degraded rejection: %v", err)
+	}
+	if degraded, reason := st.Degraded(); !degraded || reason == "" {
+		t.Fatalf("Degraded() = %v, %q after fault", degraded, reason)
+	}
+
+	// Fail fast now: the second mutation must not touch the sealed log.
+	if _, err := st.Register(mustTable(t, "d", 2)); !errors.Is(err, ErrDegraded) || !errors.Is(err, ErrDurability) {
+		t.Fatalf("degraded register err = %v, want ErrDegraded (wrapped in ErrDurability)", err)
+	}
+
+	// Reads keep serving the acked snapshots.
+	for name, ws := range acked {
+		s, ok := st.Get(name)
+		if !ok || s.Version() != ws.version {
+			t.Fatalf("degraded read of %q = %v, version mismatch", name, ok)
+		}
+	}
+
+	// Heal: the recovery loop rotates to a fresh log and exits degraded.
+	fs.Heal()
+	waitHealthy(t, st, 5*time.Second)
+
+	// Post-recovery mutations work again.
+	if _, err := st.Register(mustTable(t, "c", 2)); err != nil {
+		t.Fatalf("post-recovery register: %v", err)
+	}
+	want := captureState(st)
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen on the real OS: everything acked must be there.
+	st2 := openDurable(t, dir)
+	defer st2.Close()
+	checkRecovered(t, st2, want)
+}
+
+// TestStoreDegradedSyncFault covers the other seal shape: appends
+// whose fsync fails. The mutation must not be acked and the store must
+// recover once syncs work again.
+func TestStoreDegradedSyncFault(t *testing.T) {
+	dir := t.TempDir()
+	fs := fault.NewInject(fault.OS, 11)
+	st := openInjected(t, dir, fs)
+	defer st.Close()
+
+	if _, err := st.Register(mustTable(t, "a", 4)); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetRules(&fault.Rule{Op: fault.OpSync, Path: "wal-*.log", Count: fault.Sticky, Err: syscall.EIO})
+	if _, err := st.Append("a", [][]string{{"nation9", "2024", "99"}}); !errors.Is(err, ErrDurability) {
+		t.Fatalf("faulted append err = %v, want ErrDurability", err)
+	}
+	if degraded, _ := st.Degraded(); !degraded {
+		t.Fatal("store not degraded after sync fault")
+	}
+	fs.Heal()
+	waitHealthy(t, st, 5*time.Second)
+	if _, err := st.Append("a", [][]string{{"nation9", "2024", "99"}}); err != nil {
+		t.Fatalf("post-recovery append: %v", err)
+	}
+}
+
+// TestStoreDegradedMetricsCounters checks the episode bookkeeping the
+// store.* series scrape.
+func TestStoreDegradedMetricsCounters(t *testing.T) {
+	dir := t.TempDir()
+	fs := fault.NewInject(fault.OS, 3)
+	st := openInjected(t, dir, fs)
+	defer st.Close()
+
+	fs.SetRules(&fault.Rule{Op: fault.OpWrite, Path: "wal-*.log", Count: fault.Sticky, Err: syscall.ENOSPC})
+	if _, err := st.Register(mustTable(t, "a", 2)); err == nil {
+		t.Fatal("faulted register succeeded")
+	}
+	fs.Heal()
+	waitHealthy(t, st, 5*time.Second)
+
+	d := st.dur
+	if d.episodes.Load() != 1 {
+		t.Fatalf("episodes = %d, want 1", d.episodes.Load())
+	}
+	if d.faults.Load() == 0 {
+		t.Fatal("faults counter did not move")
+	}
+	if d.recAttempts.Load() == 0 || d.recSuccesses.Load() != 1 {
+		t.Fatalf("recovery attempts=%d successes=%d, want >0 and 1",
+			d.recAttempts.Load(), d.recSuccesses.Load())
+	}
+}
+
+// TestStoreCloseWhileDegraded: shutting down mid-episode must not hang
+// or crash, and a clean reopen must see every acked mutation.
+func TestStoreCloseWhileDegraded(t *testing.T) {
+	dir := t.TempDir()
+	fs := fault.NewInject(fault.OS, 5)
+	st := openInjected(t, dir, fs)
+	if _, err := st.Register(mustTable(t, "a", 4)); err != nil {
+		t.Fatal(err)
+	}
+	acked := captureState(st)
+	fs.SetRules(&fault.Rule{Op: fault.OpWrite, Path: "wal-*.log", Count: fault.Sticky, Err: syscall.EIO})
+	if _, err := st.Register(mustTable(t, "b", 2)); err == nil {
+		t.Fatal("faulted register succeeded")
+	}
+	fs.Heal() // close's final checkpoint runs on a healthy filesystem
+	st.Close()
+
+	st2 := openDurable(t, dir)
+	defer st2.Close()
+	checkRecovered(t, st2, acked)
+}

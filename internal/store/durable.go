@@ -1,9 +1,9 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -12,7 +12,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nlexplain/internal/fault"
 	"nlexplain/internal/metric"
+	"nlexplain/internal/retry"
 	"nlexplain/internal/segment"
 	"nlexplain/internal/table"
 	"nlexplain/internal/wal"
@@ -23,6 +25,13 @@ import (
 // mutation is acknowledged only after its record is fsync-durable.
 // Match with errors.Is.
 var ErrDurability = errors.New("store: durability failure")
+
+// ErrDegraded marks mutations rejected fast while the store is in
+// degraded read-only mode: a durability fault sealed the write-ahead
+// log, reads keep serving from the in-memory snapshots, and a
+// background recovery loop is retrying with capped backoff. It is
+// always wrapped in ErrDurability; match either with errors.Is.
+var ErrDegraded = errors.New("store: degraded read-only mode")
 
 // DurableOptions configures the persistence layer a Store opened with
 // Open keeps under its data directory: an append-only write-ahead log
@@ -44,6 +53,13 @@ type DurableOptions struct {
 	// past it. 0 selects the 8MiB default; negative disables the
 	// trigger.
 	CheckpointBytes int64
+	// FS is the filesystem all durability I/O goes through. nil means
+	// the real OS; tests and chaos runs inject a fault.InjectFS.
+	FS fault.FS
+	// RecoveryBackoff paces the degraded-mode recovery loop's attempts
+	// to rotate to a fresh log. The zero value uses the retry package
+	// defaults (50ms base doubling to a 5s cap, ±20% jitter).
+	RecoveryBackoff retry.Backoff
 }
 
 func (o DurableOptions) withDefaults() DurableOptions {
@@ -81,22 +97,26 @@ func Open(opts Options, dopts DurableOptions) (*Store, error) {
 		return nil, errors.New("store: Open requires DurableOptions.Dir")
 	}
 	st := New(opts)
-	if err := os.MkdirAll(dopts.Dir, 0o755); err != nil {
-		return nil, err
-	}
 	d := &durability{
-		st:   st,
-		dir:  dopts.Dir,
-		opts: dopts.withDefaults(),
-		kick: make(chan struct{}, 1),
-		quit: make(chan struct{}),
-		done: make(chan struct{}),
+		st:      st,
+		dir:     dopts.Dir,
+		fs:      fault.Or(dopts.FS),
+		opts:    dopts.withDefaults(),
+		kick:    make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+		recKick: make(chan struct{}, 1),
+		recDone: make(chan struct{}),
+	}
+	if err := d.fs.MkdirAll(dopts.Dir, 0o755); err != nil {
+		return nil, err
 	}
 	if err := d.recover(); err != nil {
 		return nil, fmt.Errorf("store: recovering %s: %w", dopts.Dir, err)
 	}
 	st.dur = d
 	go d.loop()
+	go d.recoveryLoop()
 	return st, nil
 }
 
@@ -105,6 +125,7 @@ func Open(opts Options, dopts DurableOptions) (*Store, error) {
 type durability struct {
 	st   *Store
 	dir  string
+	fs   fault.FS
 	opts DurableOptions
 
 	// logMu orders mutations against checkpoint rotation: every
@@ -123,6 +144,25 @@ type durability struct {
 	kick chan struct{}
 	quit chan struct{}
 	done chan struct{}
+
+	// Degraded read-only mode. degraded flips on at the first
+	// durability fault a mutation observes (the WAL is sealed: its
+	// sticky error rejects everything after) and off when the recovery
+	// loop rotates to a fresh, verified log. closed suppresses the
+	// transition during clean shutdown, where ErrClosed is expected.
+	degraded   atomic.Bool
+	closed     atomic.Bool
+	degradedMu sync.Mutex // guards reason + since
+	reason     string
+	since      time.Time
+
+	recKick chan struct{} // wakes the recovery loop
+	recDone chan struct{}
+
+	faults       atomic.Uint64 // durability faults observed
+	episodes     atomic.Uint64 // degraded episodes entered
+	recAttempts  atomic.Uint64
+	recSuccesses atomic.Uint64
 
 	// Cumulative WAL counters carried across rotations (the active
 	// WAL's own counters reset with each new file).
@@ -148,12 +188,18 @@ func (d *durability) walPath(seq uint64) string {
 // fsync-durable. On success it returns a release closure the caller
 // must invoke after installing the mutation's effect: the read lock
 // held in between is what lets checkpoint rotation wait for in-flight
-// installs (see logMu).
+// installs (see logMu). While degraded, mutations fail fast without
+// touching the sealed log; an append failure flips the store into
+// degraded mode.
 func (d *durability) log(tag byte, payload []byte) (release func(), err error) {
+	if d.degraded.Load() {
+		return nil, d.degradedErr()
+	}
 	d.logMu.RLock()
 	w := d.w
 	if err := w.Append(tag, payload); err != nil {
 		d.logMu.RUnlock()
+		d.enterDegraded(err)
 		return nil, err
 	}
 	if d.opts.CheckpointBytes > 0 && w.Size() >= d.opts.CheckpointBytes {
@@ -165,10 +211,112 @@ func (d *durability) log(tag byte, payload []byte) (release func(), err error) {
 	return d.logMu.RUnlock, nil
 }
 
+// degradedErr renders the fail-fast rejection with the episode's
+// trigger as context.
+func (d *durability) degradedErr() error {
+	d.degradedMu.Lock()
+	reason := d.reason
+	d.degradedMu.Unlock()
+	return fmt.Errorf("%w (since fault: %s)", ErrDegraded, reason)
+}
+
+// enterDegraded flips the store into degraded read-only mode and wakes
+// the recovery loop. During clean shutdown the transition is
+// suppressed: ErrClosed from the final WAL is not a fault.
+func (d *durability) enterDegraded(cause error) {
+	d.faults.Add(1)
+	if d.closed.Load() {
+		return
+	}
+	if !d.degraded.CompareAndSwap(false, true) {
+		return
+	}
+	d.episodes.Add(1)
+	d.degradedMu.Lock()
+	d.reason = cause.Error()
+	d.since = time.Now()
+	d.degradedMu.Unlock()
+	select {
+	case d.recKick <- struct{}{}:
+	default:
+	}
+}
+
+func (d *durability) exitDegraded() {
+	d.degradedMu.Lock()
+	d.reason = ""
+	d.since = time.Time{}
+	d.degradedMu.Unlock()
+	d.degraded.Store(false)
+}
+
+// degradedState reports whether the store is degraded and, if so, the
+// fault that started the episode.
+func (d *durability) degradedState() (bool, string) {
+	if !d.degraded.Load() {
+		return false, ""
+	}
+	d.degradedMu.Lock()
+	reason := d.reason
+	d.degradedMu.Unlock()
+	// A racing exitDegraded may have cleared the state between the two
+	// loads; report consistently.
+	if !d.degraded.Load() {
+		return false, ""
+	}
+	return true, reason
+}
+
+// probe appends a no-op record to the active WAL and waits for its
+// fsync: the post-recovery proof that the fresh log really is durable
+// before degraded mode lifts.
+func (d *durability) probe() error {
+	d.logMu.RLock()
+	w := d.w
+	d.logMu.RUnlock()
+	return w.Append(tagNoop, nil)
+}
+
+// recoveryLoop waits out degraded episodes: woken by enterDegraded, it
+// retries checkpoint-plus-probe under capped exponential backoff until
+// the store is healthy again (a successful checkpoint rotates to a
+// fresh WAL and supersedes the sealed one) or shutdown cancels it.
+func (d *durability) recoveryLoop() {
+	defer close(d.recDone)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-d.quit:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	for {
+		select {
+		case <-d.quit:
+			return
+		case <-d.recKick:
+		}
+		err := retry.Do(ctx, d.opts.RecoveryBackoff, func(context.Context) error {
+			d.recAttempts.Add(1)
+			if err := d.checkpoint(); err != nil {
+				return err
+			}
+			return d.probe()
+		})
+		if err != nil {
+			return // shutdown while still degraded
+		}
+		d.recSuccesses.Add(1)
+		d.exitDegraded()
+	}
+}
+
 // listWALSeqs returns the sequence numbers of the wal-*.log files in
 // the data dir, ascending.
 func (d *durability) listWALSeqs() ([]uint64, error) {
-	ents, err := os.ReadDir(d.dir)
+	ents, err := d.fs.ReadDir(d.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -192,14 +340,14 @@ func (d *durability) listWALSeqs() ([]uint64, error) {
 // segments → WAL tail, in that order, gen-gated so records whose
 // effect is already compacted into a segment replay as no-ops.
 func (d *durability) recover() error {
-	man, ok, err := segment.LoadManifest(d.dir)
+	man, ok, err := segment.LoadManifestFS(d.fs, d.dir)
 	if err != nil {
 		return err
 	}
 	startSeq := uint64(1)
 	if ok {
 		for _, ref := range man.Tables {
-			meta, rows, zones, err := segment.Read(filepath.Join(d.dir, ref.File))
+			meta, rows, zones, err := segment.ReadFS(d.fs, filepath.Join(d.dir, ref.File))
 			if err != nil {
 				return err
 			}
@@ -226,7 +374,7 @@ func (d *durability) recover() error {
 		if seq < startSeq {
 			// Compacted log a crashed checkpoint didn't finish
 			// deleting: everything in it is in the segments already.
-			os.Remove(d.walPath(seq))
+			d.fs.Remove(d.walPath(seq))
 			continue
 		}
 		replay = append(replay, seq)
@@ -234,24 +382,24 @@ func (d *durability) recover() error {
 	active := startSeq
 	if n := len(replay); n > 0 {
 		active = replay[n-1]
-		// All logs before the active tail were sealed by a rotation;
-		// damage anywhere in them — including a torn tail — cannot be
-		// an interrupted final append and is fatal.
+		// Logs before the active tail were sealed by a rotation. A torn
+		// tail there is tolerated: a degraded-mode seal legitimately
+		// leaves a partially persisted final record behind, and every
+		// acknowledged record is fsynced before its Append returns, so
+		// the valid prefix always covers the acked state. Mid-log
+		// damage (ErrCorrupt from the scan) stays fatal.
 		for _, seq := range replay[:n-1] {
-			res, err := wal.Scan(d.walPath(seq))
+			res, err := wal.ScanFS(d.fs, d.walPath(seq))
 			if err != nil {
 				return err
 			}
-			if res.Truncated > 0 {
-				return fmt.Errorf("%w: %d torn bytes in sealed log %s",
-					wal.ErrCorrupt, res.Truncated, d.walPath(seq))
-			}
+			d.truncatedBytes.Add(uint64(res.Truncated))
 			if err := d.apply(res.Records); err != nil {
 				return err
 			}
 		}
 	}
-	w, res, err := wal.Open(d.walPath(active), d.opts.syncWindow())
+	w, res, err := wal.OpenFS(d.fs, d.walPath(active), d.opts.syncWindow())
 	if err != nil {
 		return err
 	}
@@ -321,7 +469,7 @@ func (d *durability) checkpointLocked() error {
 	d.logMu.Lock()
 	old := d.w
 	newSeq := d.walSeq + 1
-	neww, _, err := wal.Open(d.walPath(newSeq), d.opts.syncWindow())
+	neww, _, err := wal.OpenFS(d.fs, d.walPath(newSeq), d.opts.syncWindow())
 	if err != nil {
 		d.logMu.Unlock()
 		return err
@@ -329,13 +477,19 @@ func (d *durability) checkpointLocked() error {
 	d.w = neww
 	d.walSeq = newSeq
 	d.logMu.Unlock()
-	err = old.Close()
+	cerr := old.Close()
 	st := old.Stats()
 	d.accAppends.Add(st.Appends)
 	d.accAppendedBytes.Add(st.AppendedBytes)
 	d.accSyncs.Add(st.Syncs)
-	if err != nil {
-		return err
+	if cerr != nil {
+		// A sealed log that fails its final flush is exactly what a
+		// degraded episode leaves behind. It does not poison the
+		// checkpoint: every acknowledged record was fsync-durable
+		// before its Append returned, rotation waited out in-flight
+		// installs, so the capture below covers all acked state and
+		// the new manifest supersedes the damaged log entirely.
+		d.faults.Add(1)
 	}
 
 	// Capture. Segments for snapshots unchanged since the previous
@@ -371,7 +525,7 @@ func (d *durability) checkpointLocked() error {
 				Columns: t.Columns(),
 				Rows:    ref.Rows,
 			}
-			if err := segment.Write(filepath.Join(d.dir, ref.File), m, t.RawRows(), t.ZoneSnapshot()); err != nil {
+			if err := segment.WriteFS(d.fs, filepath.Join(d.dir, ref.File), m, t.RawRows(), t.ZoneSnapshot()); err != nil {
 				return err
 			}
 		}
@@ -379,7 +533,7 @@ func (d *durability) checkpointLocked() error {
 	}
 	sort.Slice(refs, func(i, j int) bool { return refs[i].Name < refs[j].Name })
 	man := &segment.Manifest{Gen: d.st.gen.Load(), WALSeq: newSeq, Tables: refs}
-	if err := segment.WriteManifest(d.dir, man); err != nil {
+	if err := segment.WriteManifestFS(d.fs, d.dir, man); err != nil {
 		return err
 	}
 	d.lastManifest = man
@@ -390,21 +544,21 @@ func (d *durability) checkpointLocked() error {
 	var segBytes int64
 	for _, r := range refs {
 		live[r.File] = true
-		if fi, err := os.Stat(filepath.Join(d.dir, r.File)); err == nil {
+		if fi, err := d.fs.Stat(filepath.Join(d.dir, r.File)); err == nil {
 			segBytes += fi.Size()
 		}
 	}
-	if ents, err := os.ReadDir(d.dir); err == nil {
+	if ents, err := d.fs.ReadDir(d.dir); err == nil {
 		for _, e := range ents {
 			name := e.Name()
 			switch {
 			case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
 				seq, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 16, 64)
 				if perr == nil && seq < newSeq {
-					os.Remove(filepath.Join(d.dir, name))
+					d.fs.Remove(filepath.Join(d.dir, name))
 				}
 			case strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".seg") && !live[name]:
-				os.Remove(filepath.Join(d.dir, name))
+				d.fs.Remove(filepath.Join(d.dir, name))
 			}
 		}
 	}
@@ -421,8 +575,10 @@ func (d *durability) checkpointLocked() error {
 // close runs a final checkpoint (the clean-shutdown flush) and closes
 // the active WAL. Mutations after close fail with ErrDurability.
 func (d *durability) close() error {
+	d.closed.Store(true)
 	close(d.quit)
 	<-d.done
+	<-d.recDone
 	err := d.checkpoint()
 	d.logMu.Lock()
 	cerr := d.w.Close()
@@ -572,6 +728,9 @@ func (st *Store) applyWALRecord(rec wal.Record) error {
 		}
 		st.dropRestored(r.name, r.gen)
 		return nil
+	case tagNoop:
+		// Recovery probe: proves a fresh log durable, carries no state.
+		return nil
 	default:
 		return fmt.Errorf("%w: unknown wal record tag 0x%02x", wal.ErrCorrupt, rec.Tag)
 	}
@@ -602,4 +761,14 @@ func (st *Store) DataDir() string {
 		return ""
 	}
 	return st.dur.dir
+}
+
+// Degraded reports whether the store is in degraded read-only mode
+// and, if so, the durability fault that started the episode. Purely
+// in-memory stores are never degraded.
+func (st *Store) Degraded() (bool, string) {
+	if st.dur == nil {
+		return false, ""
+	}
+	return st.dur.degradedState()
 }

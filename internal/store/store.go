@@ -312,7 +312,7 @@ func (st *Store) Register(t *table.Table) (*Snapshot, error) {
 		payload := encodeRegister(name, snap.gen, snap.version, t.Columns(), t.RawRows())
 		release, err := st.dur.log(tagRegister, payload)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrDurability, err)
+			return nil, fmt.Errorf("%w: %w", ErrDurability, err)
 		}
 		defer release()
 	}
@@ -348,7 +348,7 @@ func (st *Store) Append(name string, rows [][]string) (*Snapshot, error) {
 		payload := encodeAppend(name, snap.gen, snap.version, nt.NumCols(), rows)
 		release, err := st.dur.log(tagAppend, payload)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrDurability, err)
+			return nil, fmt.Errorf("%w: %w", ErrDurability, err)
 		}
 		defer release()
 	}
@@ -374,7 +374,7 @@ func (st *Store) Drop(name string) (*Snapshot, bool, error) {
 	if st.dur != nil {
 		release, err := st.dur.log(tagDrop, encodeDrop(name, old.gen))
 		if err != nil {
-			return nil, false, fmt.Errorf("%w: %v", ErrDurability, err)
+			return nil, false, fmt.Errorf("%w: %w", ErrDurability, err)
 		}
 		defer release()
 	}
@@ -527,6 +527,40 @@ func (st *Store) RegisterMetrics(r *metric.Registry) {
 	if d != nil {
 		d.ckptLat.Store(h)
 	}
+
+	// Degraded-mode series: the 0/1 degraded gauge is what dashboards
+	// alert on; faults counts every durability fault observed and the
+	// recovery pair tracks the backoff loop's work.
+	r.GaugeFunc("degraded", "1 while in degraded read-only mode, else 0", func() int64 {
+		if d == nil || !d.degraded.Load() {
+			return 0
+		}
+		return 1
+	})
+	r.CounterFunc("degraded.episodes", "degraded read-only episodes entered", func() uint64 {
+		if d == nil {
+			return 0
+		}
+		return d.episodes.Load()
+	})
+	r.CounterFunc("faults.durability", "durability faults observed (wal append/sync/seal failures)", func() uint64 {
+		if d == nil {
+			return 0
+		}
+		return d.faults.Load()
+	})
+	r.CounterFunc("recovery.attempts", "degraded-mode recovery attempts (checkpoint + probe)", func() uint64 {
+		if d == nil {
+			return 0
+		}
+		return d.recAttempts.Load()
+	})
+	r.CounterFunc("recovery.successes", "degraded-mode recoveries that lifted read-only mode", func() uint64 {
+		if d == nil {
+			return 0
+		}
+		return d.recSuccesses.Load()
+	})
 
 	// Zone-map series, process-wide across all tables: builds is a
 	// monotonic counter of per-column constructions, bytes the resident

@@ -24,6 +24,10 @@ const (
 	// snapshot that was dropped, which is what gen-gated replay
 	// compares against.
 	tagDrop = 0x03
+	// tagNoop carries no payload: the degraded-mode recovery loop
+	// appends one to a freshly rotated log as proof the log accepts
+	// durable writes before lifting read-only mode. Replay skips it.
+	tagNoop = 0x04
 )
 
 var errRecTruncated = errors.New("store: truncated wal record payload")

@@ -56,6 +56,7 @@ func FuzzWALReplay(f *testing.F) {
 	short := append([]byte(nil), valid...)
 	short[0] ^= 0xFF // scramble the first length field
 	f.Add(short)
+	f.Add(tornWALImage(f)) // injector-produced torn tail (short write mid-record)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		recs, validLen, err := parse(data)

@@ -32,6 +32,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"nlexplain/internal/fault"
 )
 
 // ErrCorrupt reports checksum or framing damage before the final
@@ -75,7 +77,12 @@ type ScanResult struct {
 // opening it for writing. Torn tails are reported, not errors;
 // mid-log damage is ErrCorrupt.
 func Scan(path string) (*ScanResult, error) {
-	data, err := os.ReadFile(path)
+	return ScanFS(fault.OS, path)
+}
+
+// ScanFS is Scan reading through fsys (nil means the OS passthrough).
+func ScanFS(fsys fault.FS, path string) (*ScanResult, error) {
+	data, err := fault.Or(fsys).ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +159,8 @@ type WAL struct {
 	// buffering while a sync is in flight.
 	mu        sync.Mutex
 	cond      *sync.Cond // signals syncedSeq advance or sticky error
-	f         *os.File
+	fs        fault.FS
+	f         fault.File
 	buf       []byte // pending framed records not yet written to f
 	writeSeq  uint64 // records accepted into buf
 	syncedSeq uint64 // records covered by a completed fsync
@@ -178,8 +186,16 @@ type WAL struct {
 // arriving within it share one fsync. A non-positive window syncs
 // every append before it returns.
 func Open(path string, window time.Duration) (*WAL, *ScanResult, error) {
+	return OpenFS(fault.OS, path, window)
+}
+
+// OpenFS is Open performing all I/O through fsys (nil means the OS
+// passthrough). The durability layer threads its fault-injection
+// filesystem through here.
+func OpenFS(fsys fault.FS, path string, window time.Duration) (*WAL, *ScanResult, error) {
+	fsys = fault.Or(fsys)
 	res := &ScanResult{}
-	if data, err := os.ReadFile(path); err == nil {
+	if data, err := fsys.ReadFile(path); err == nil {
 		recs, valid, perr := parse(data)
 		if perr != nil {
 			return nil, nil, fmt.Errorf("%s: %w", path, perr)
@@ -190,7 +206,7 @@ func Open(path string, window time.Duration) (*WAL, *ScanResult, error) {
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, nil, err
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -208,13 +224,14 @@ func Open(path string, window time.Duration) (*WAL, *ScanResult, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	if err := syncDir(filepath.Dir(path)); err != nil {
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
 		f.Close()
 		return nil, nil, err
 	}
 	w := &WAL{
 		path:   path,
 		window: window,
+		fs:     fsys,
 		f:      f,
 		size:   res.Valid,
 		kick:   make(chan struct{}, 1),
@@ -413,18 +430,4 @@ func (w *WAL) Stats() Stats {
 		Syncs:         w.syncs.Load(),
 		Size:          w.Size(),
 	}
-}
-
-// syncDir fsyncs a directory so a freshly created or truncated file's
-// metadata is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
 }

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// chaosCycles reads the cycle count from WTQ_CHAOS_CYCLES so the CI
+// fault-stress shard can crank it up (50 × -count=2 = 100 episodes)
+// while the default `go test` stays quick.
+func chaosCycles(t *testing.T, def int) int {
+	t.Helper()
+	s := os.Getenv("WTQ_CHAOS_CYCLES")
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		t.Fatalf("bad WTQ_CHAOS_CYCLES=%q", s)
+	}
+	return n
+}
+
+// TestChaosRecovery is the chaos gate: seeded fault/recovery cycles
+// with zero lost acked mutations, zero crashes, every episode
+// recovering in bound, and post-recovery content-hash versions
+// matching the acks (including across a final clean reopen).
+func TestChaosRecovery(t *testing.T) {
+	rep, err := RunChaos(ChaosOptions{
+		Seed:   4242,
+		Cycles: chaosCycles(t, 8),
+		Dir:    t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	t.Log(rep)
+	if len(rep.Violations) != 0 {
+		t.Fatalf("chaos contract violated:\n%s", rep)
+	}
+	if rep.Recovered != rep.Episodes || rep.Episodes != rep.Cycles {
+		t.Fatalf("episodes=%d recovered=%d cycles=%d", rep.Episodes, rep.Recovered, rep.Cycles)
+	}
+	if rep.AckedMuts == 0 || rep.Faults == 0 {
+		t.Fatalf("degenerate run: %s", rep)
+	}
+}
+
+// TestChaosDeterministicMutations: same seed, same mutation/ack/fault
+// counts — the property that makes a failing seed replayable.
+func TestChaosDeterministicMutations(t *testing.T) {
+	run := func() *ChaosReport {
+		rep, err := RunChaos(ChaosOptions{Seed: 99, Cycles: 3, Dir: t.TempDir()})
+		if err != nil {
+			t.Fatalf("RunChaos: %v", err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.AckedMuts != b.AckedMuts || a.Rejected != b.Rejected || a.Episodes != b.Episodes {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if len(a.Violations) != 0 || len(b.Violations) != 0 {
+		t.Fatalf("violations:\n%s\n%s", a, b)
+	}
+}

@@ -72,6 +72,10 @@ func classifyErr(err error) string {
 		return ClassOK
 	case errors.Is(err, engine.ErrOverloaded):
 		return ClassOverloaded
+	case errors.Is(err, engine.ErrUnavailable):
+		// Degraded read-only mode: retryable server pressure, the same
+		// contract HTTP targets see as a 503.
+		return ClassOverloaded
 	case errors.Is(err, context.DeadlineExceeded):
 		return ClassTimeout
 	case errors.Is(err, context.Canceled):

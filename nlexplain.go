@@ -212,6 +212,10 @@ type (
 	TableDetail = engine.TableDetail
 	// RankedCandidate is one semantic-parse candidate on the wire.
 	RankedCandidate = engine.RankedCandidate
+	// EngineHealth reports the engine's serving state: "ok", or
+	// "degraded" with a reason while the durable store is read-only
+	// and recovering.
+	EngineHealth = engine.Health
 )
 
 // NewEngine builds a concurrent explanation engine (zero Options =
@@ -238,6 +242,12 @@ var ErrInternal = engine.ErrInternal
 // ErrOverloaded reports that the engine shed a request because its
 // admission queue is full; match it with errors.Is.
 var ErrOverloaded = engine.ErrOverloaded
+
+// ErrUnavailable reports a mutation rejected because the durable store
+// cannot persist it right now (durability fault or degraded read-only
+// mode). Reads keep serving; back off and retry the mutation. Match it
+// with errors.Is.
+var ErrUnavailable = engine.ErrUnavailable
 
 // Explanation is the complete explanation bundle of one query on one
 // table: what the deployment interface shows a non-expert next to each
